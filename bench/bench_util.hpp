@@ -1,0 +1,45 @@
+#pragma once
+
+/// @file bench_util.hpp
+/// Shared helpers for the per-figure bench harnesses: command-line knobs
+/// and table printing. Every sample-domain bench accepts
+///   --packets=N   packets per data point (default: quick CI setting;
+///                 the paper used 10 000)
+///   --seed=N      channel seed
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace bhss::bench {
+
+struct Options {
+  std::size_t packets = 12;
+  std::uint64_t seed = 7;
+  double jnr_db = 30.0;
+};
+
+inline Options parse_options(int argc, char** argv, std::size_t default_packets = 12) {
+  Options opt;
+  opt.packets = default_packets;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--packets=", 10) == 0) {
+      opt.packets = static_cast<std::size_t>(std::strtoull(argv[i] + 10, nullptr, 10));
+    } else if (std::strncmp(argv[i], "--seed=", 7) == 0) {
+      opt.seed = std::strtoull(argv[i] + 7, nullptr, 10);
+    } else if (std::strncmp(argv[i], "--jnr=", 6) == 0) {
+      opt.jnr_db = std::strtod(argv[i] + 6, nullptr);
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      std::printf("usage: %s [--packets=N] [--seed=N] [--jnr=dB]\n", argv[0]);
+      std::exit(0);
+    }
+  }
+  return opt;
+}
+
+inline void header(const char* id, const char* what) {
+  std::printf("# %s — %s\n", id, what);
+}
+
+}  // namespace bhss::bench

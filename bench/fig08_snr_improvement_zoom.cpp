@@ -1,0 +1,36 @@
+// Figure 8: zoom of Figure 7 for bandwidth ratios Bp/Bj in [0.5, 2] —
+// the region where the paper argues "significant gains can be achieved by
+// BHSS for bandwidth ratios between 0.5 and 2".
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/theory.hpp"
+#include "dsp/utils.hpp"
+
+int main() {
+  using namespace bhss;
+  bench::header("Figure 8", "SNR improvement bound, zoomed to Bp/Bj in [0.5, 2]");
+  const double noise_var = 0.01;
+  const std::vector<double> rho_dbm = {10.0, 20.0, 30.0};
+
+  std::printf("%8s", "Bp/Bj");
+  for (double r : rho_dbm) std::printf("  gamma@%2.0fdBm", r);
+  std::printf("\n");
+
+  for (double ratio = 0.5; ratio <= 2.0 + 1e-9; ratio += 0.05) {
+    std::printf("%8.2f", ratio);
+    for (double r : rho_dbm) {
+      const double gamma = core::theory::snr_improvement_bound(
+          ratio, dsp::db_to_linear(r), noise_var);
+      std::printf("  %11.2f", dsp::linear_to_db(gamma));
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\n# shape check: gamma rises steeply on both sides of Bp/Bj = 1,\n"
+              "# with the asymmetry (narrow-band side saturating at the jammer\n"
+              "# power) visible already at ratio 2.\n");
+  return 0;
+}

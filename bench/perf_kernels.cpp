@@ -1,0 +1,149 @@
+// Microbenchmarks (google-benchmark) of the hot kernels behind the
+// experiments: FFT, direct vs overlap-save FIR filtering, Welch PSD,
+// excision design, chip modulation/demodulation, despreading, and a whole
+// frame reception. Not a paper figure — these quantify what the
+// sample-domain experiments cost and where the time goes.
+
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "channel/link_channel.hpp"
+#include "core/control_logic.hpp"
+#include "core/receiver.hpp"
+#include "core/transmitter.hpp"
+#include "dsp/fft.hpp"
+#include "dsp/fir.hpp"
+#include "dsp/psd.hpp"
+#include "phy/modulator.hpp"
+#include "phy/spreader.hpp"
+
+namespace {
+
+using namespace bhss;
+
+dsp::cvec random_signal(std::size_t n, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::normal_distribution<float> dist(0.0F, 1.0F);
+  dsp::cvec x(n);
+  for (dsp::cf& v : x) v = dsp::cf{dist(rng), dist(rng)};
+  return x;
+}
+
+void BM_Fft(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  dsp::Fft fft(n);
+  dsp::cvec x = random_signal(n, 1);
+  for (auto _ : state) {
+    fft.forward(dsp::cspan_mut{x});
+    benchmark::DoNotOptimize(x.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_Fft)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_FirDirect(benchmark::State& state) {
+  const auto taps = static_cast<std::size_t>(state.range(0));
+  dsp::FirFilter fir{random_signal(taps, 2)};
+  const dsp::cvec x = random_signal(4096, 3);
+  for (auto _ : state) {
+    auto y = fir.process(x);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_FirDirect)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_FirOverlapSave(benchmark::State& state) {
+  const auto taps = static_cast<std::size_t>(state.range(0));
+  const dsp::FftConvolver conv{dsp::cspan{random_signal(taps, 4)}};
+  const dsp::cvec x = random_signal(4096, 5);
+  for (auto _ : state) {
+    auto y = conv.filter(x);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_FirOverlapSave)->Arg(64)->Arg(256)->Arg(1025);
+
+void BM_WelchPsd(benchmark::State& state) {
+  const dsp::cvec x = random_signal(16384, 6);
+  for (auto _ : state) {
+    auto psd = dsp::welch_psd(x, 256);
+    benchmark::DoNotOptimize(psd.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 16384);
+}
+BENCHMARK(BM_WelchPsd);
+
+void BM_ExcisionDesign(benchmark::State& state) {
+  dsp::fvec psd(256, 1.0F);
+  for (std::size_t k = 10; k < 20; ++k) psd[k] = 300.0F;
+  for (auto _ : state) {
+    auto taps = dsp::design_excision_whitening(psd, 1e-6, 0.6);
+    benchmark::DoNotOptimize(taps.data());
+  }
+}
+BENCHMARK(BM_ExcisionDesign);
+
+void BM_Modulate(benchmark::State& state) {
+  const auto sps = static_cast<std::size_t>(state.range(0));
+  const phy::QpskModulator mod(sps);
+  std::vector<float> chips(1024);
+  std::mt19937 rng(7);
+  for (float& c : chips) c = (rng() & 1U) ? 1.0F : -1.0F;
+  for (auto _ : state) {
+    auto wave = mod.modulate(chips);
+    benchmark::DoNotOptimize(wave.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(1024 * sps));
+}
+BENCHMARK(BM_Modulate)->Arg(2)->Arg(16)->Arg(128);
+
+void BM_DemodulateAndDespread(benchmark::State& state) {
+  const auto sps = static_cast<std::size_t>(state.range(0));
+  const phy::QpskModulator mod(sps);
+  const phy::QpskDemodulator demod(sps);
+  phy::Spreader spreader(0x1234);
+  std::vector<std::uint8_t> symbols(32);
+  for (std::size_t i = 0; i < symbols.size(); ++i) symbols[i] = i % 16;
+  const std::vector<float> chips = spreader.spread(symbols);
+  const dsp::cvec wave = mod.modulate(chips);
+  for (auto _ : state) {
+    phy::Despreader despreader(0x1234);
+    const dsp::cvec pairs = demod.demodulate_pairs(wave, chips.size());
+    std::uint32_t acc = 0;
+    for (std::size_t s = 0; s < symbols.size(); ++s) {
+      acc += despreader
+                 .despread_pairs(dsp::cspan{pairs}.subspan(s * 16, 16))
+                 .symbol;
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(wave.size()));
+}
+BENCHMARK(BM_DemodulateAndDespread)->Arg(2)->Arg(16)->Arg(128);
+
+void BM_FullFrameReceive(benchmark::State& state) {
+  core::SystemConfig sys;
+  sys.pattern = core::HopPattern::make(core::HopPatternType::linear,
+                                       core::BandwidthSet::paper());
+  const core::BhssTransmitter tx(sys);
+  const core::BhssReceiver rx(sys);
+  channel::AwgnSource noise(8);
+  const std::vector<std::uint8_t> payload(8, 0x5A);
+  const core::Transmission t = tx.transmit(payload, 1);
+  channel::LinkConfig link;
+  link.snr_db = 15.0;
+  link.tx_delay = 50;
+  link.tail_pad = 64;
+  const dsp::cvec sig = channel::transmit(t.samples, {}, link, noise);
+  for (auto _ : state) {
+    auto res = rx.receive(sig, 1, payload.size(), 128);
+    benchmark::DoNotOptimize(res.crc_ok);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(sig.size()));
+}
+BENCHMARK(BM_FullFrameReceive);
+
+}  // namespace

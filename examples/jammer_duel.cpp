@@ -1,0 +1,84 @@
+// Jammer duel — the strategy game of §6.4: the transmitter picks a hop
+// pattern, the jammer picks a bandwidth strategy, and we play out every
+// combination on the real sample-domain link at a fixed power point.
+//
+// Reproduces the qualitative structure of Fig. 14 / Table 2 as a single
+// scoreboard: fixed jamming is punished by an adaptive transmitter,
+// exponential-vs-exponential is the jammer's best cell, and the parabolic
+// transmitter pattern has the most even row (best worst case).
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/link_simulator.hpp"
+
+int main() {
+  using namespace bhss;
+
+  const core::BandwidthSet bands = core::BandwidthSet::paper();
+  const double snr_db = 12.0;
+  const double jnr_db = 30.0;
+  const std::size_t n_packets = 30;
+
+  struct JammerStrategy {
+    std::string name;
+    core::JammerSpec spec;
+  };
+  std::vector<JammerStrategy> jammers;
+  {
+    core::JammerSpec fixed_wide;
+    fixed_wide.kind = core::JammerSpec::Kind::fixed_bandwidth;
+    fixed_wide.bandwidth_frac = bands.bandwidth_frac(0);
+    jammers.push_back({"fixed 10 MHz", fixed_wide});
+
+    core::JammerSpec fixed_narrow = fixed_wide;
+    fixed_narrow.bandwidth_frac = bands.bandwidth_frac(5);
+    jammers.push_back({"fixed 0.31 MHz", fixed_narrow});
+
+    for (auto type : {core::HopPatternType::linear, core::HopPatternType::exponential,
+                      core::HopPatternType::parabolic}) {
+      core::JammerSpec hop;
+      hop.kind = core::JammerSpec::Kind::hopping;
+      hop.hop_probs = core::HopPattern::make(type, bands).probabilities();
+      hop.dwell_samples = 8192;
+      jammers.push_back({"hopping " + to_string(type), hop});
+    }
+  }
+
+  std::printf("Delivered frames out of %zu (SNR %.0f dB, JNR %.0f dB); one bandwidth\n"
+              "draw per frame, higher is better for the transmitter:\n\n",
+              n_packets, snr_db, jnr_db);
+  std::printf("%-22s", "tx pattern \\ jammer");
+  for (const auto& j : jammers) std::printf("  %14s", j.name.c_str());
+  std::printf("\n");
+
+  for (auto type : {core::HopPatternType::linear, core::HopPatternType::exponential,
+                    core::HopPatternType::parabolic}) {
+    std::printf("%-22s", to_string(type).c_str());
+    for (const auto& j : jammers) {
+      core::SimConfig cfg;
+      cfg.system.pattern = core::HopPattern::make(type, bands);
+      cfg.system.symbols_per_hop = 1024;  // one bandwidth per frame
+      cfg.payload_len = 8;
+      cfg.n_packets = n_packets;
+      cfg.snr_db = snr_db;
+      cfg.jnr_db = jnr_db;
+      cfg.jammer = j.spec;
+      const core::LinkStats s = core::run_link(cfg);
+      std::printf("  %14zu", s.ok);
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nReading the board: a fixed narrow jammer loses badly to every hopping\n"
+              "pattern (the excision filter digs it out whenever the bandwidths\n"
+              "differ), and the exponential pattern, which spends most of its time\n"
+              "at the widest bandwidths, exploits it best. The fixed wide jammer\n"
+              "column shows the flip side at this power point: wide-band jamming is\n"
+              "only filterable by the narrow hops' low-pass margin (see\n"
+              "EXPERIMENTS.md on the wide-band side). Among hopping jammers the\n"
+              "pattern matchup decides the rest (Table 2 of the paper).\n");
+  return 0;
+}

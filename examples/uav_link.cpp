@@ -1,0 +1,80 @@
+// UAV control link under a reactive jammer — the paper's motivating
+// scenario ("This communication could be for example between a ground
+// station and a UAV", §2).
+//
+// A ground station streams command frames to a UAV while a reactive
+// jammer (§2, realised per [12]) senses the channel and matches its
+// jamming bandwidth to whatever it observes, with a reaction time of
+// ~0.8 ms ("a couple of symbols" at the narrow bandwidths). The paper's
+// §3 requirement is that the bandwidth must change faster than the jammer
+// can react; we fly the same mission three ways:
+//   (a) fixed-bandwidth DSSS — the jammer parks on the link, steady-state
+//       matched jamming, nothing gets through;
+//   (b) BHSS with short frames, new bandwidth every frame — every frame
+//       completes before the matched jamming arrives;
+//   (c) BHSS with long frames — the dwell exceeds the reaction time, the
+//       jammer catches the frame mid-air.
+
+#include <cstdio>
+
+#include "baseline/dsss_baseline.hpp"
+#include "core/link_simulator.hpp"
+
+int main() {
+  using namespace bhss;
+
+  // 1.25-10 MHz hop set: even the slowest frame fits inside the jammer's
+  // reaction window when frames are short.
+  const core::BandwidthSet bands(20e6, {2, 4, 8, 16});
+  const std::size_t n_frames = 40;
+  const double snr_db = 18.0;
+  const double jnr_db = 30.0;
+  const std::size_t reaction_delay = 16384;  // ~0.8 ms at 20 MS/s
+
+  std::printf("UAV control link: %zu command frames, SNR %.0f dB, reactive jammer at\n"
+              "JNR %.0f dB with a %.0f us reaction time\n\n",
+              n_frames, snr_db, jnr_db,
+              static_cast<double>(reaction_delay) / bands.sample_rate_hz() * 1e6);
+
+  auto fly_mission = [&](const char* name, core::SystemConfig system,
+                         core::JammerSpec jammer, std::size_t payload_len) {
+    core::SimConfig cfg;
+    cfg.system = std::move(system);
+    cfg.payload_len = payload_len;
+    cfg.n_packets = n_frames;
+    cfg.snr_db = snr_db;
+    cfg.jnr_db = jnr_db;
+    cfg.jammer = jammer;
+    const core::LinkStats s = core::run_link(cfg);
+    std::printf("%-26s delivered %2zu/%zu frames (PER %4.0f%%), SER %5.1f%%\n", name, s.ok,
+                s.packets, 100.0 * s.per(), 100.0 * s.ser());
+    return s;
+  };
+
+  core::JammerSpec reactive;
+  reactive.kind = core::JammerSpec::Kind::reactive;
+  reactive.reaction_delay = reaction_delay;
+
+  // Against a never-hopping link the reactive jammer's steady state is a
+  // permanently matched jammer.
+  core::JammerSpec parked;
+  parked.kind = core::JammerSpec::Kind::fixed_bandwidth;
+  parked.bandwidth_frac = bands.bandwidth_frac(1);
+
+  core::SystemConfig fixed = baseline::dsss_config(bands, 1);  // 5 MHz, never hops
+  fly_mission("(a) fixed 5 MHz DSSS", fixed, parked, 4);
+
+  core::SystemConfig hopper;
+  hopper.pattern = core::HopPattern::make(core::HopPatternType::linear, bands);
+  hopper.symbols_per_hop = 1024;  // one bandwidth per frame
+  const core::LinkStats short_frames =
+      fly_mission("(b) BHSS, short frames", hopper, reactive, 4);
+
+  fly_mission("(c) BHSS, long frames", hopper, reactive, 96);
+
+  std::printf("\n(b) wins because every 4-byte frame is over before the jammer's\n"
+              "matched waveform arrives (paper §3: hop faster than the reaction\n"
+              "time). (c)'s narrow-bandwidth frames dwell past the reaction time\n"
+              "and get caught, like the fixed link in (a).\n");
+  return short_frames.ok > short_frames.packets / 2 ? 0 : 1;
+}

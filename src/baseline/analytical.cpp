@@ -1,0 +1,24 @@
+#include "baseline/analytical.hpp"
+
+#include "core/theory.hpp"
+
+namespace bhss::baseline {
+
+double dsss_ber(double processing_gain, double jammer_power, double ebno_linear) {
+  const double noise_var = processing_gain / (2.0 * ebno_linear);
+  const double snr =
+      core::theory::output_snr_unfiltered(processing_gain, jammer_power, noise_var);
+  return core::theory::ber_from_snr(snr);
+}
+
+double fhss_ber(double processing_gain, double jammer_power, double ebno_linear) {
+  return dsss_ber(processing_gain, jammer_power, ebno_linear);
+}
+
+double dsss_throughput(double processing_gain, double jammer_power, double ebno_linear,
+                       std::size_t packet_bits) {
+  return core::theory::normalized_throughput(
+      dsss_ber(processing_gain, jammer_power, ebno_linear), packet_bits);
+}
+
+}  // namespace bhss::baseline

@@ -1,0 +1,28 @@
+#pragma once
+
+/// @file analytical.hpp
+/// Closed-form DSSS and FHSS baseline curves for the theory figures.
+/// Under equal spectral occupancy the two have identical jamming
+/// resistance (§5.3: "FHSS achieves the same jamming resistance as DSSS
+/// by using narrower sub-channels in the frequency band"), so both map to
+/// the unfiltered correlator SNR of eq. (7) with a matched jammer.
+
+#include <cstddef>
+
+namespace bhss::baseline {
+
+/// BER of a conventional DSSS link whose jammer matches the signal
+/// bandwidth (no filtering possible), eq. (7) + eq. (16).
+/// @param processing_gain  L, linear
+/// @param jammer_power     rho_j(0) per chip (0 = no jammer)
+/// @param ebno_linear      Eb/N0, linear
+[[nodiscard]] double dsss_ber(double processing_gain, double jammer_power, double ebno_linear);
+
+/// FHSS with the same spectral occupancy: identical to DSSS (see above).
+[[nodiscard]] double fhss_ber(double processing_gain, double jammer_power, double ebno_linear);
+
+/// Normalised throughput of the matched-jammer DSSS/FHSS baseline.
+[[nodiscard]] double dsss_throughput(double processing_gain, double jammer_power,
+                                     double ebno_linear, std::size_t packet_bits);
+
+}  // namespace bhss::baseline

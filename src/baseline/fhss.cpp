@@ -1,0 +1,129 @@
+#include "baseline/fhss.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "phy/frame.hpp"
+#include "phy/modulator.hpp"
+#include "phy/spreader.hpp"
+
+namespace bhss::baseline {
+namespace {
+
+/// Multiply x[a..b) by exp(j 2 pi f (n - a0)) with n the absolute index.
+void mix(dsp::cspan_mut x, std::size_t begin, std::size_t end, double freq,
+         std::size_t phase_origin, bool down) {
+  const double sign = down ? -1.0 : 1.0;
+  for (std::size_t n = begin; n < end && n < x.size(); ++n) {
+    const double ang = sign * 2.0 * std::numbers::pi * freq *
+                       static_cast<double>(n - phase_origin);
+    x[n] *= dsp::cf{static_cast<float>(std::cos(ang)), static_cast<float>(std::sin(ang))};
+  }
+}
+
+}  // namespace
+
+FhssTransmitter::FhssTransmitter(FhssConfig config) : config_(config) {
+  if (config_.sps < config_.n_channels)
+    throw std::invalid_argument("FhssTransmitter: sps must be >= n_channels (channel overlap)");
+}
+
+FhssTransmission FhssTransmitter::transmit(std::span<const std::uint8_t> payload,
+                                           std::uint64_t frame_counter) const {
+  core::SharedRandom rng = core::SharedRandom::for_frame(config_.seed, frame_counter);
+  const std::uint32_t scrambler_seed = rng.derive_scrambler_seed();
+
+  FhssTransmission tx;
+  tx.symbols = phy::build_frame_symbols(payload);
+
+  // Spread and modulate the whole frame at the fixed chip rate.
+  phy::Spreader spreader(scrambler_seed);
+  const std::vector<float> chips = spreader.spread(tx.symbols);
+  const phy::QpskModulator mod(config_.sps);
+  tx.samples = mod.modulate(chips);
+
+  // Hop the carrier per dwell.
+  const std::size_t samples_per_hop =
+      config_.symbols_per_hop * phy::kChipsPerSymbol * config_.sps;
+  for (std::size_t start = 0; start < tx.samples.size(); start += samples_per_hop) {
+    const std::size_t channel = rng.uniform_index(config_.n_channels);
+    tx.hop_channels.push_back(channel);
+    mix(dsp::cspan_mut{tx.samples}, start, start + samples_per_hop,
+        config_.channel_freq(channel), start, /*down=*/false);
+  }
+  return tx;
+}
+
+FhssReceiver::FhssReceiver(FhssConfig config) : config_(config) {
+  const double cutoff = 0.6 / static_cast<double>(config_.sps);
+  const std::size_t n_taps = dsp::lowpass_num_taps(0.25 * cutoff, 60.0, 513);
+  channel_filter_ = dsp::to_complex(dsp::design_lowpass(n_taps, cutoff, dsp::Window::blackman));
+}
+
+std::vector<std::uint8_t> FhssReceiver::receive(dsp::cspan rx, std::uint64_t frame_counter,
+                                                std::size_t payload_len,
+                                                std::size_t frame_start) const {
+  core::SharedRandom rng = core::SharedRandom::for_frame(config_.seed, frame_counter);
+  const std::uint32_t scrambler_seed = rng.derive_scrambler_seed();
+
+  const std::size_t total_symbols = phy::FrameSpec::total_symbols(payload_len);
+  const std::size_t chips_per_hop = config_.symbols_per_hop * phy::kChipsPerSymbol;
+  const std::size_t samples_per_hop = chips_per_hop * config_.sps;
+  const std::size_t total_samples = total_symbols * phy::kChipsPerSymbol * config_.sps;
+
+  const dsp::FftConvolver convolver{dsp::cspan{channel_filter_}};
+  const std::size_t group_delay = (channel_filter_.size() - 1) / 2;
+
+  phy::Despreader despreader(scrambler_seed);
+  const phy::QpskDemodulator demod(config_.sps);
+
+  std::vector<std::uint8_t> symbols;
+  symbols.reserve(total_symbols);
+
+  std::size_t symbol = 0;
+  for (std::size_t hop_start = 0; hop_start < total_samples && symbol < total_symbols;
+       hop_start += samples_per_hop) {
+    const std::size_t channel = rng.uniform_index(config_.n_channels);
+    const std::size_t n_syms = std::min(config_.symbols_per_hop, total_symbols - symbol);
+    const std::size_t n_chips = n_syms * phy::kChipsPerSymbol;
+    const std::size_t needed = n_chips * config_.sps;
+
+    // Slice with margins, mix the hop down to baseband, channel-select.
+    const std::size_t a0 = frame_start + hop_start;
+    const std::size_t k_taps = channel_filter_.size();
+    const std::size_t lead = std::min(a0, k_taps);
+    const std::size_t begin = a0 - lead;
+    const std::size_t end = std::min(rx.size(), a0 + needed + k_taps);
+    if (begin >= end) break;
+
+    dsp::cvec slice(rx.begin() + static_cast<std::ptrdiff_t>(begin),
+                    rx.begin() + static_cast<std::ptrdiff_t>(end));
+    // Phase origin must match the transmitter's (hop start in TX time).
+    mix(dsp::cspan_mut{slice}, lead, slice.size(), config_.channel_freq(channel), lead,
+        /*down=*/true);
+    const dsp::cvec filtered = convolver.filter(slice);
+
+    dsp::cvec clean(needed, dsp::cf{0.0F, 0.0F});
+    for (std::size_t i = 0; i < needed; ++i) {
+      const std::size_t idx = lead + group_delay + i;
+      if (idx < filtered.size()) clean[i] = filtered[idx];
+    }
+
+    const std::vector<float> soft = demod.demodulate(clean, n_chips);
+    for (std::size_t s = 0; s < n_syms; ++s) {
+      const auto chunk =
+          std::span<const float>{soft}.subspan(s * phy::kChipsPerSymbol, phy::kChipsPerSymbol);
+      symbols.push_back(despreader.despread_symbol(chunk).symbol);
+    }
+    symbol += n_syms;
+  }
+
+  if (auto payload = phy::parse_frame_symbols(symbols);
+      payload.has_value() && payload->size() == payload_len) {
+    return *payload;
+  }
+  return {};
+}
+
+}  // namespace bhss::baseline

@@ -1,0 +1,77 @@
+#pragma once
+
+/// @file fhss.hpp
+/// Frequency hopping spread spectrum baseline. FHSS spreads by hopping the
+/// carrier of a narrow-band signal over sub-channels of a wider band; the
+/// receiver band-pass selects the current channel. The paper (§5.3) notes
+/// that within the same spectral occupancy FHSS achieves the same jamming
+/// resistance as DSSS — this sample-domain implementation lets the tests
+/// and examples verify that equivalence on real waveforms.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/shared_random.hpp"
+#include "dsp/fir.hpp"
+#include "dsp/types.hpp"
+
+namespace bhss::baseline {
+
+/// FHSS link parameters, shared by transmitter and receiver.
+struct FhssConfig {
+  std::uint64_t seed = 0xF5511ULL;  ///< shared hop-sequence seed
+  double sample_rate_hz = 20e6;
+  std::size_t n_channels = 8;       ///< sub-channels across the band
+  std::size_t sps = 16;             ///< samples/chip; channel bw = Rs/sps.
+                                    ///< Must be >= n_channels so channels
+                                    ///< do not overlap.
+  std::size_t symbols_per_hop = 4;  ///< dwell per carrier hop
+
+  /// Centre frequency of channel `k`, normalised to cycles/sample.
+  [[nodiscard]] double channel_freq(std::size_t k) const {
+    const double spacing = 1.0 / static_cast<double>(n_channels);
+    return (static_cast<double>(k) - (static_cast<double>(n_channels) - 1.0) / 2.0) * spacing;
+  }
+};
+
+/// One transmitted FHSS frame.
+struct FhssTransmission {
+  dsp::cvec samples;
+  std::vector<std::size_t> hop_channels;  ///< channel per dwell
+  std::vector<std::uint8_t> symbols;
+};
+
+/// FHSS frame transmitter (same frame format, spreading and chip
+/// modulation as the BHSS stack — only the hop dimension differs).
+class FhssTransmitter {
+ public:
+  explicit FhssTransmitter(FhssConfig config);
+
+  [[nodiscard]] FhssTransmission transmit(std::span<const std::uint8_t> payload,
+                                          std::uint64_t frame_counter) const;
+
+  [[nodiscard]] const FhssConfig& config() const noexcept { return config_; }
+
+ private:
+  FhssConfig config_;
+};
+
+/// FHSS frame receiver with oracle frame timing (the baseline is used for
+/// controlled comparisons; acquisition research belongs to the BHSS path).
+class FhssReceiver {
+ public:
+  explicit FhssReceiver(FhssConfig config);
+
+  /// Decode a frame that starts at `frame_start` in `rx`.
+  /// @returns decoded payload bytes, or empty when the CRC fails.
+  [[nodiscard]] std::vector<std::uint8_t> receive(dsp::cspan rx, std::uint64_t frame_counter,
+                                                  std::size_t payload_len,
+                                                  std::size_t frame_start) const;
+
+ private:
+  FhssConfig config_;
+  dsp::cvec channel_filter_;  ///< low-pass selecting one channel at baseband
+};
+
+}  // namespace bhss::baseline

@@ -1,0 +1,36 @@
+#pragma once
+
+/// @file awgn.hpp
+/// Complex additive white Gaussian noise source. The paper's §6.2 setup
+/// (coax cables + attenuators, free-running oscillators) is explicitly
+/// modelled as an AWGN channel; this source provides both the thermal
+/// noise floor and the raw material for the noise jammer.
+
+#include <cstdint>
+#include <random>
+
+#include "dsp/types.hpp"
+
+namespace bhss::channel {
+
+/// Seeded complex white Gaussian noise generator.
+class AwgnSource {
+ public:
+  explicit AwgnSource(std::uint64_t seed) : rng_(seed) {}
+
+  /// Generate `n` samples of circularly-symmetric complex Gaussian noise
+  /// with total power `power` (variance power/2 per rail).
+  [[nodiscard]] dsp::cvec generate(std::size_t n, double power);
+
+  /// Add noise of power `power` to `x` in place.
+  void add_to(dsp::cspan_mut x, double power);
+
+  /// One noise sample of total power `power`.
+  [[nodiscard]] dsp::cf sample(double power);
+
+ private:
+  std::mt19937_64 rng_;
+  std::normal_distribution<float> normal_{0.0F, 1.0F};
+};
+
+}  // namespace bhss::channel

@@ -1,0 +1,29 @@
+#pragma once
+
+/// @file impairments.hpp
+/// Front-end impairments of real SDRs: the paper's radios run on
+/// free-running internal oscillators (§6.2), so the receiver sees a
+/// carrier frequency offset, a random carrier phase, and an unknown
+/// arrival delay. These helpers inject exactly those.
+
+#include "dsp/types.hpp"
+
+namespace bhss::channel {
+
+/// Rotate `x` in place by a constant carrier phase [rad].
+void apply_phase(dsp::cspan_mut x, float phase) noexcept;
+
+/// Apply a carrier frequency offset [rad/sample] with initial phase 0:
+/// x[n] *= exp(j * cfo * n).
+void apply_cfo(dsp::cspan_mut x, float cfo) noexcept;
+
+/// Return a copy of `x` delayed by `delay` whole samples (zero-padded
+/// front) and extended to `total_len` samples (zero-padded back; clipped
+/// if total_len < delay + x.size()).
+[[nodiscard]] dsp::cvec apply_delay(dsp::cspan x, std::size_t delay, std::size_t total_len);
+
+/// Fractional-sample delay via linear interpolation, 0 <= frac < 1.
+/// Models sampling-clock offset between transmitter and receiver.
+[[nodiscard]] dsp::cvec apply_fractional_delay(dsp::cspan x, double frac);
+
+}  // namespace bhss::channel

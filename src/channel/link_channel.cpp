@@ -1,0 +1,36 @@
+#include "channel/link_channel.hpp"
+
+#include <cmath>
+
+#include "channel/impairments.hpp"
+#include "dsp/utils.hpp"
+
+namespace bhss::channel {
+
+dsp::cvec transmit(dsp::cspan tx, dsp::cspan jam, const LinkConfig& cfg, AwgnSource& noise) {
+  const std::size_t total_len = cfg.tx_delay + tx.size() + cfg.tail_pad;
+
+  // Signal path: normalise, impair, delay, scale to the requested SNR.
+  dsp::cvec sig(tx.begin(), tx.end());
+  dsp::scale_to_power(sig, 1.0);
+  if (cfg.phase != 0.0F) apply_phase(sig, cfg.phase);
+  if (cfg.cfo != 0.0F) apply_cfo(sig, cfg.cfo);
+  dsp::cvec out = apply_delay(sig, cfg.tx_delay, total_len);
+  const auto sig_gain = static_cast<float>(std::sqrt(dsp::db_to_linear(cfg.snr_db)));
+  for (dsp::cf& s : out) s *= sig_gain;
+
+  // Jammer path: normalise over its own duration, scale to the JNR.
+  if (cfg.jnr_db.has_value() && !jam.empty()) {
+    dsp::cvec j(jam.begin(), jam.end());
+    dsp::scale_to_power(j, 1.0);
+    const auto jam_gain = static_cast<float>(std::sqrt(dsp::db_to_linear(*cfg.jnr_db)));
+    const std::size_t n = std::min(total_len, j.size());
+    for (std::size_t i = 0; i < n; ++i) out[i] += jam_gain * j[i];
+  }
+
+  // Thermal noise floor at unit power.
+  noise.add_to(out, 1.0);
+  return out;
+}
+
+}  // namespace bhss::channel

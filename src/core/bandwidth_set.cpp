@@ -1,0 +1,39 @@
+#include "core/bandwidth_set.hpp"
+
+#include <stdexcept>
+
+namespace bhss::core {
+
+BandwidthSet::BandwidthSet(double sample_rate_hz, std::vector<std::size_t> sps_levels)
+    : sample_rate_hz_(sample_rate_hz), sps_levels_(std::move(sps_levels)) {
+  if (sample_rate_hz_ <= 0.0) throw std::invalid_argument("BandwidthSet: Rs must be > 0");
+  if (sps_levels_.empty()) throw std::invalid_argument("BandwidthSet: need >= 1 level");
+  std::size_t prev = 0;
+  for (std::size_t sps : sps_levels_) {
+    if (sps < 2 || sps % 2 != 0)
+      throw std::invalid_argument("BandwidthSet: sps levels must be even and >= 2");
+    if (sps <= prev) throw std::invalid_argument("BandwidthSet: sps levels must be ascending");
+    prev = sps;
+  }
+}
+
+BandwidthSet BandwidthSet::paper() {
+  return BandwidthSet(20e6, {2, 4, 8, 16, 32, 64, 128});
+}
+
+BandwidthSet BandwidthSet::small(double sample_rate_hz) {
+  return BandwidthSet(sample_rate_hz, {2, 4, 8, 16});
+}
+
+double BandwidthSet::hopping_range() const noexcept {
+  return static_cast<double>(sps_levels_.back()) / static_cast<double>(sps_levels_.front());
+}
+
+std::vector<double> BandwidthSet::bandwidth_fracs() const {
+  std::vector<double> out;
+  out.reserve(size());
+  for (std::size_t i = 0; i < size(); ++i) out.push_back(bandwidth_frac(i));
+  return out;
+}
+
+}  // namespace bhss::core

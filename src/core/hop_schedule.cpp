@@ -1,0 +1,59 @@
+#include "core/hop_schedule.hpp"
+
+#include <stdexcept>
+
+namespace bhss::core {
+
+std::vector<jammer::ObservedHop> HopSchedule::observed_hops(const BandwidthSet& bands,
+                                                            std::size_t delay) const {
+  std::vector<jammer::ObservedHop> hops;
+  hops.reserve(segments.size());
+  for (const HopSegment& seg : segments) {
+    hops.push_back({seg.start_sample + delay, bands.bandwidth_frac(seg.bw_index)});
+  }
+  return hops;
+}
+
+HopSchedule HopSchedule::make(std::size_t total_symbols, std::size_t symbols_per_hop,
+                              const HopPattern& pattern, SharedRandom& rng) {
+  if (total_symbols == 0) throw std::invalid_argument("HopSchedule: no symbols");
+  if (symbols_per_hop == 0) throw std::invalid_argument("HopSchedule: symbols_per_hop == 0");
+
+  HopSchedule schedule;
+  schedule.total_symbols = total_symbols;
+  std::size_t symbol = 0;
+  std::size_t sample = 0;
+  while (symbol < total_symbols) {
+    HopSegment seg;
+    seg.bw_index = pattern.draw(rng);
+    seg.sps = pattern.bands().sps(seg.bw_index);
+    seg.first_symbol = symbol;
+    seg.n_symbols = std::min(symbols_per_hop, total_symbols - symbol);
+    seg.start_sample = sample;
+    seg.n_samples = seg.n_symbols * phy::kChipsPerSymbol * seg.sps;
+    sample += seg.n_samples;
+    symbol += seg.n_symbols;
+    schedule.segments.push_back(seg);
+  }
+  schedule.total_samples = sample;
+  return schedule;
+}
+
+HopSchedule HopSchedule::fixed(std::size_t total_symbols, const BandwidthSet& bands,
+                               std::size_t bw_index) {
+  if (total_symbols == 0) throw std::invalid_argument("HopSchedule: no symbols");
+  HopSchedule schedule;
+  schedule.total_symbols = total_symbols;
+  HopSegment seg;
+  seg.bw_index = bw_index;
+  seg.sps = bands.sps(bw_index);
+  seg.first_symbol = 0;
+  seg.n_symbols = total_symbols;
+  seg.start_sample = 0;
+  seg.n_samples = total_symbols * phy::kChipsPerSymbol * seg.sps;
+  schedule.segments.push_back(seg);
+  schedule.total_samples = seg.n_samples;
+  return schedule;
+}
+
+}  // namespace bhss::core

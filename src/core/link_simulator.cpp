@@ -1,0 +1,171 @@
+#include "core/link_simulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <optional>
+
+#include "channel/link_channel.hpp"
+#include "jammer/hopping_jammer.hpp"
+#include "jammer/noise_jammer.hpp"
+#include "jammer/reactive_jammer.hpp"
+#include "jammer/tone_jammer.hpp"
+
+namespace bhss::core {
+namespace {
+
+/// Owns whichever jammer the spec asks for and produces per-packet
+/// waveforms. Kept alive across packets so the jammer's own randomness
+/// does not repeat.
+class JammerBox {
+ public:
+  JammerBox(const JammerSpec& spec, const BandwidthSet& bands) : spec_(spec) {
+    switch (spec.kind) {
+      case JammerSpec::Kind::none:
+        break;
+      case JammerSpec::Kind::fixed_bandwidth:
+        fixed_.emplace(spec.bandwidth_frac, spec.seed);
+        break;
+      case JammerSpec::Kind::hopping: {
+        std::vector<double> probs = spec.hop_probs;
+        if (probs.empty()) probs.assign(bands.size(), 1.0);
+        hopping_.emplace(bands.bandwidth_fracs(), probs, spec.dwell_samples, spec.seed);
+        break;
+      }
+      case JammerSpec::Kind::reactive:
+        reactive_.emplace(bands.bandwidth_fracs(), spec.reaction_delay, spec.seed);
+        break;
+      case JammerSpec::Kind::tone:
+        tone_.emplace(spec.tone_freqs, spec.seed);
+        break;
+      case JammerSpec::Kind::swept:
+        swept_.emplace(spec.sweep_lo, spec.sweep_hi, spec.sweep_samples, spec.seed);
+        break;
+    }
+  }
+
+  [[nodiscard]] dsp::cvec waveform(const Transmission& tx, const BandwidthSet& bands,
+                                   std::size_t delay, std::size_t total_len) {
+    switch (spec_.kind) {
+      case JammerSpec::Kind::none:
+        return {};
+      case JammerSpec::Kind::fixed_bandwidth:
+        return fixed_->generate(total_len);
+      case JammerSpec::Kind::hopping:
+        return hopping_->generate(total_len);
+      case JammerSpec::Kind::reactive: {
+        const auto hops = tx.schedule.observed_hops(bands, delay);
+        return reactive_->generate(hops, total_len);
+      }
+      case JammerSpec::Kind::tone:
+        return tone_->generate(total_len);
+      case JammerSpec::Kind::swept:
+        return swept_->generate(total_len);
+    }
+    return {};
+  }
+
+ private:
+  JammerSpec spec_;
+  std::optional<jammer::NoiseJammer> fixed_;
+  std::optional<jammer::HoppingJammer> hopping_;
+  std::optional<jammer::ReactiveJammer> reactive_;
+  std::optional<jammer::ToneJammer> tone_;
+  std::optional<jammer::SweptJammer> swept_;
+};
+
+}  // namespace
+
+LinkStats run_link(const SimConfig& cfg) {
+  const BhssTransmitter tx(cfg.system);
+  const BhssReceiver rx(cfg.system);
+  channel::AwgnSource noise(cfg.channel_seed);
+  SharedRandom channel_rng(cfg.channel_seed ^ 0xC4A77EULL);
+  JammerBox jammer(cfg.jammer, cfg.system.pattern.bands());
+
+  const double sample_rate = cfg.system.pattern.bands().sample_rate_hz();
+  const bool genie = cfg.system.sync == SyncMode::genie;
+
+  LinkStats stats;
+  for (std::size_t pkt = 0; pkt < cfg.n_packets; ++pkt) {
+    // Deterministic, packet-dependent payload.
+    std::vector<std::uint8_t> payload(cfg.payload_len);
+    for (std::size_t j = 0; j < payload.size(); ++j) {
+      payload[j] = static_cast<std::uint8_t>((pkt * 31 + j * 7 + 13) & 0xFF);
+    }
+
+    const Transmission t = tx.transmit(payload, pkt);
+
+    // Channel realisation.
+    channel::LinkConfig link;
+    link.snr_db = cfg.snr_db;
+    if (cfg.jammer.kind != JammerSpec::Kind::none) link.jnr_db = cfg.jnr_db;
+    link.tx_delay = cfg.impairments
+                        ? 16 + channel_rng.uniform_index(std::max<std::size_t>(cfg.max_delay, 1))
+                        : cfg.max_delay / 2;
+    link.tail_pad = 64;
+    if (cfg.impairments && !genie) {
+      link.phase = static_cast<float>((channel_rng.uniform() * 2.0 - 1.0) * std::numbers::pi);
+      link.cfo = static_cast<float>((channel_rng.uniform() * 2.0 - 1.0) * cfg.max_cfo);
+    }
+
+    const std::size_t total_len = link.tx_delay + t.samples.size() + link.tail_pad;
+    const dsp::cvec jam =
+        jammer.waveform(t, cfg.system.pattern.bands(), link.tx_delay, total_len);
+
+    const dsp::cvec rx_signal = channel::transmit(t.samples, jam, link, noise);
+
+    const std::size_t search_window = link.tx_delay + cfg.max_delay / 4 + 64;
+    const RxResult res =
+        rx.receive(rx_signal, pkt, cfg.payload_len, search_window, link.tx_delay);
+
+    ++stats.packets;
+    stats.airtime_s += static_cast<double>(t.samples.size()) / sample_rate;
+    if (res.frame_detected) ++stats.detected;
+    const bool delivered = res.crc_ok && res.payload == payload;
+    if (delivered) ++stats.ok;
+
+    const std::size_t n = std::min(res.symbols.size(), t.symbols.size());
+    stats.total_symbols += t.symbols.size();
+    for (std::size_t s = 0; s < n; ++s) {
+      if (res.symbols[s] != t.symbols[s]) ++stats.symbol_errors;
+    }
+    stats.symbol_errors += t.symbols.size() - n;  // undecoded symbols count as errors
+  }
+
+  if (stats.airtime_s > 0.0) {
+    stats.throughput_bps =
+        static_cast<double>(stats.ok * cfg.payload_len * 8) / stats.airtime_s;
+  }
+  return stats;
+}
+
+double min_snr_for_per(const SimConfig& cfg, double target_per, double lo_db, double hi_db,
+                       double tol_db) {
+  auto per_at = [&cfg](double snr_db) {
+    SimConfig c = cfg;
+    c.snr_db = snr_db;
+    return run_link(c).per();
+  };
+
+  if (per_at(hi_db) > target_per) return hi_db;  // unreachable even at max power
+  if (per_at(lo_db) <= target_per) return lo_db;
+
+  double lo = lo_db;
+  double hi = hi_db;
+  while (hi - lo > tol_db) {
+    const double mid = 0.5 * (lo + hi);
+    if (per_at(mid) <= target_per) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return hi;
+}
+
+double power_advantage_db(const SimConfig& a, const SimConfig& b, double target_per) {
+  return min_snr_for_per(b, target_per) - min_snr_for_per(a, target_per);
+}
+
+}  // namespace bhss::core

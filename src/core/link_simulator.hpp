@@ -1,0 +1,93 @@
+#pragma once
+
+/// @file link_simulator.hpp
+/// End-to-end link experiments: transmitter -> (jammer + AWGN channel) ->
+/// receiver, with packet-loss statistics and the paper's "power
+/// advantage" measurement procedure (§6.3: the ratio of minimum SNRs
+/// needed to stay below 50 % packet loss).
+
+#include <cstdint>
+#include <vector>
+
+#include "core/receiver.hpp"
+#include "core/system_config.hpp"
+#include "core/transmitter.hpp"
+
+namespace bhss::core {
+
+/// Which adversary the link faces.
+struct JammerSpec {
+  enum class Kind {
+    none,             ///< thermal noise only
+    fixed_bandwidth,  ///< constant-bandwidth Gaussian noise (§6.4.2)
+    hopping,          ///< bandwidth-hopping jammer (§6.4.3)
+    reactive,         ///< matches the observed bandwidth after a delay (§2)
+    tone,             ///< CW tone(s) — the classic excision target [3]-[7]
+    swept,            ///< carrier sweeping across the band
+  };
+
+  Kind kind = Kind::none;
+  double bandwidth_frac = 0.5;       ///< fixed_bandwidth: fraction of Rs
+  std::vector<double> hop_probs;     ///< hopping: distribution over the
+                                     ///< system's bandwidth set
+  std::size_t dwell_samples = 8192;  ///< hopping: samples per jammer hop
+  std::size_t reaction_delay = 4096; ///< reactive: tau in samples
+  std::vector<double> tone_freqs = {0.01};  ///< tone: cycles/sample
+  double sweep_lo = -0.25;           ///< swept: band edges [cycles/sample]
+  double sweep_hi = 0.25;
+  std::size_t sweep_samples = 65536; ///< swept: samples per full sweep
+  std::uint64_t seed = 99;           ///< jammer-private randomness
+};
+
+/// One experiment configuration.
+struct SimConfig {
+  SystemConfig system;
+  JammerSpec jammer;
+  double snr_db = 20.0;           ///< received signal power / noise power
+  double jnr_db = 25.0;           ///< received jammer power / noise power
+  std::size_t payload_len = 8;    ///< payload bytes per packet
+  std::size_t n_packets = 50;     ///< packets per data point (paper: 10000)
+  std::uint64_t channel_seed = 7;
+  bool impairments = true;        ///< random delay/phase/CFO per packet
+  std::size_t max_delay = 192;    ///< arrival delay range [samples]
+  float max_cfo = 2e-4F;          ///< |CFO| bound [rad/sample]
+};
+
+/// Aggregated link statistics.
+struct LinkStats {
+  std::size_t packets = 0;
+  std::size_t detected = 0;       ///< frames whose preamble was acquired
+  std::size_t ok = 0;             ///< frames that passed the CRC
+  std::size_t symbol_errors = 0;
+  std::size_t total_symbols = 0;
+  double airtime_s = 0.0;         ///< total waveform time on air
+  double throughput_bps = 0.0;    ///< delivered payload bits / airtime
+
+  [[nodiscard]] double per() const noexcept {
+    return packets == 0 ? 1.0
+                        : 1.0 - static_cast<double>(ok) / static_cast<double>(packets);
+  }
+  [[nodiscard]] double ser() const noexcept {
+    return total_symbols == 0
+               ? 1.0
+               : static_cast<double>(symbol_errors) / static_cast<double>(total_symbols);
+  }
+};
+
+/// Run `cfg.n_packets` packets through the link.
+[[nodiscard]] LinkStats run_link(const SimConfig& cfg);
+
+/// Paper §6.3 measurement: the minimum SNR (dB) at which the packet loss
+/// stays below `target_per`, found by bisection over [lo_db, hi_db].
+/// Returns hi_db when even the highest SNR cannot reach the target.
+[[nodiscard]] double min_snr_for_per(const SimConfig& cfg, double target_per = 0.5,
+                                     double lo_db = -10.0, double hi_db = 45.0,
+                                     double tol_db = 0.5);
+
+/// Power advantage of configuration `a` over configuration `b` in dB:
+/// min-SNR(b) - min-SNR(a). Positive = `a` tolerates that much more
+/// jamming for the same error performance.
+[[nodiscard]] double power_advantage_db(const SimConfig& a, const SimConfig& b,
+                                        double target_per = 0.5);
+
+}  // namespace bhss::core

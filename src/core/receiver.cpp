@@ -1,0 +1,230 @@
+#include "core/receiver.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/transmitter.hpp"
+#include "phy/frame.hpp"
+#include "phy/modulator.hpp"
+#include "phy/spreader.hpp"
+#include "sync/costas.hpp"
+
+namespace bhss::core {
+
+BhssReceiver::BhssReceiver(SystemConfig config)
+    : config_(std::move(config)), logic_(config_.logic, config_.pattern.bands()) {}
+
+FilterDecision BhssReceiver::choose_filter(dsp::cspan slice, std::size_t bw_index) const {
+  switch (config_.filter_policy) {
+    case FilterPolicy::adaptive:
+      return logic_.decide(slice, bw_index);
+    case FilterPolicy::off:
+      return FilterDecision{};
+    case FilterPolicy::always_lowpass:
+      return logic_.force_lowpass(bw_index);
+    case FilterPolicy::always_excision:
+      return logic_.force_excision(slice, bw_index);
+  }
+  return FilterDecision{};
+}
+
+dsp::cvec BhssReceiver::filtered_slice(dsp::cspan buffer, std::size_t a0, std::size_t needed,
+                                       const FilterDecision& decision) const {
+  if (decision.kind == FilterDecision::Kind::none || decision.taps.empty()) {
+    dsp::cvec out(needed, dsp::cf{0.0F, 0.0F});
+    for (std::size_t i = 0; i < needed && a0 + i < buffer.size(); ++i) out[i] = buffer[a0 + i];
+    return out;
+  }
+
+  // Filter a window with lead-in (so the filter is warmed up by real
+  // samples where they exist) and a zero-padded lead-out (so every
+  // group-delay-shifted read is defined even at the end of the capture),
+  // then pick the delay-compensated samples aligned with a0.
+  const std::size_t k_taps = decision.taps.size();
+  const std::size_t lead = std::min(a0, k_taps);
+  const std::size_t begin = a0 - lead;
+  const std::size_t in_len = lead + needed + k_taps;
+
+  dsp::cvec padded(in_len, dsp::cf{0.0F, 0.0F});
+  for (std::size_t i = 0; i < in_len && begin + i < buffer.size(); ++i) {
+    padded[i] = buffer[begin + i];
+  }
+
+  const dsp::FftConvolver convolver{dsp::cspan{decision.taps}};
+  const dsp::cvec filtered = convolver.filter(padded);
+
+  dsp::cvec out(needed);
+  for (std::size_t i = 0; i < needed; ++i) {
+    out[i] = filtered[lead + decision.group_delay + i];
+  }
+  return out;
+}
+
+RxResult BhssReceiver::receive(dsp::cspan rx, std::uint64_t frame_counter,
+                               std::size_t payload_len, std::size_t search_window,
+                               std::size_t genie_frame_start) const {
+  RxResult result;
+
+  // Mirror the transmitter's per-frame derivations.
+  SharedRandom rng = SharedRandom::for_frame(config_.seed, frame_counter);
+  const std::uint32_t scrambler_seed = rng.derive_scrambler_seed();
+  const std::size_t total_symbols = phy::FrameSpec::total_symbols(payload_len);
+  const HopSchedule schedule =
+      config_.hopping
+          ? HopSchedule::make(total_symbols, config_.symbols_per_hop, config_.pattern, rng)
+          : HopSchedule::fixed(total_symbols, config_.pattern.bands(), config_.fixed_bw_index);
+
+  // Working copy — derotation happens in place after acquisition.
+  dsp::cvec buffer(rx.begin(), rx.end());
+  std::size_t frame_start = genie_frame_start;
+
+  if (config_.sync == SyncMode::preamble) {
+    // Regenerate the clean preamble waveform from shared knowledge (the
+    // preamble symbols are fixed, the scrambler and the schedule come
+    // from the shared random source).
+    const std::vector<std::uint8_t> preamble_syms(phy::FrameSpec::preamble_symbols, 0);
+    const dsp::cvec reference = BhssTransmitter::modulate_symbols(
+        preamble_syms, preamble_syms.size(), schedule, scrambler_seed);
+
+    // The paper filters before synchronisation (Fig. 6): decide a filter
+    // from the acquisition window, apply it to both the window and the
+    // reference so the correlation stays matched and the group delays
+    // cancel.
+    const std::size_t window_len =
+        std::min(rx.size(), search_window + reference.size() + 2 * config_.logic.psd_fft);
+    const dsp::cspan window = rx.first(window_len);
+    const FilterDecision decision =
+        choose_filter(window, schedule.segments.front().bw_index);
+
+    dsp::cvec sync_window(window.begin(), window.end());
+    dsp::cvec sync_ref = reference;
+    if (decision.kind != FilterDecision::Kind::none) {
+      const dsp::FftConvolver convolver{dsp::cspan{decision.taps}};
+      sync_window = convolver.filter(sync_window);
+      sync_ref = convolver.filter(sync_ref);
+    }
+
+    const sync::PreambleSync acquirer(std::move(sync_ref), config_.sync_threshold);
+    auto est = acquirer.acquire(sync_window, search_window);
+    if (!est.has_value()) return result;  // frame lost before decoding
+
+    // Second pass: regression over the preamble tightens phase and CFO so
+    // the per-hop carrier tracking starts inside its pull-in range even
+    // for long (narrow-bandwidth) frames.
+    *est = acquirer.refine(sync_window, *est);
+
+    result.sync = *est;
+    result.frame_detected = true;
+    frame_start = est->frame_start;
+    sync::PreambleSync::derotate(dsp::cspan_mut{buffer}, *est);
+  } else {
+    result.frame_detected = true;
+  }
+
+  // Per-hop: decide filter, filter, track carrier, demodulate, despread.
+  phy::Despreader despreader(scrambler_seed);
+  result.symbols.reserve(total_symbols);
+  result.hops.reserve(schedule.segments.size());
+
+  // Decision-directed residual phase/CFO model, updated from the complex
+  // despreading correlations of each healthy hop. The preamble estimate
+  // alone cannot anchor the carrier over arbitrarily long frames (its CFO
+  // error, extrapolated over 100k+ samples, exceeds the pull-in range of
+  // the tracking loop); the despread correlations provide unambiguous
+  // per-hop phase measurements with the full processing gain behind them.
+  double model_phase = 0.0;   // residual phase at t_anchor [rad]
+  double model_cfo = 0.0;     // residual CFO [rad/sample]
+  double t_anchor = 0.0;      // frame time of the anchor [samples]
+  bool have_measurement = false;
+
+  for (const HopSegment& seg : schedule.segments) {
+    const std::size_t a0 = frame_start + seg.start_sample;
+    const std::size_t needed = seg.n_samples;
+
+    // Jammer estimation on the raw (unfiltered) slice of this hop.
+    const std::size_t avail = (a0 < buffer.size()) ? buffer.size() - a0 : 0;
+    const dsp::cspan raw_slice{buffer.data() + std::min(a0, buffer.size()),
+                               std::min(needed, avail)};
+    FilterDecision decision;
+    if (!raw_slice.empty()) {
+      decision = choose_filter(raw_slice, seg.bw_index);
+    }
+    result.hops.push_back({seg.bw_index, decision.kind, decision.est_jammer_bw_frac,
+                           decision.inband_peak_over_median_db,
+                           decision.oob_to_inband_level_db});
+
+    // Remove the predicted residual rotation for this hop.
+    dsp::cvec clean = filtered_slice(buffer, a0, needed, decision);
+    for (std::size_t i = 0; i < clean.size(); ++i) {
+      const double t = static_cast<double>(seg.start_sample + i);
+      const auto ang =
+          static_cast<float>(-(model_phase + model_cfo * (t - t_anchor)));
+      clean[i] *= dsp::cf{std::cos(ang), std::sin(ang)};
+    }
+
+    // Carrier tracking runs after the suppression filter and before the
+    // matched filter, exactly as in the paper's chain (§6.1): without the
+    // filter, a strong jammer drives the loop out of lock — a large part
+    // of why unfiltered spread spectrum collapses under jamming. The loop
+    // is re-anchored per hop on the phase model, so a slip inside one
+    // badly jammed hop cannot poison the rest of the frame. When the
+    // excision filter has notched out the spectral core, the waveform no
+    // longer matches the decision-directed QPSK model and the loop would
+    // wander; carrier tracking is bypassed there and the despread-level
+    // phase feedback carries the hop instead.
+    sync::CostasLoop costas(config_.costas_bandwidth);
+    const bool track_carrier =
+        config_.carrier_tracking && decision.kind != FilterDecision::Kind::excision;
+    if (track_carrier) costas.process(dsp::cspan_mut{clean});
+
+    const phy::QpskDemodulator demod(seg.sps);
+    const dsp::cvec pairs = demod.demodulate_pairs(clean, seg.n_chips());
+
+    dsp::cf corr_sum{0.0F, 0.0F};
+    std::size_t healthy = 0;
+    for (std::size_t s = 0; s < seg.n_symbols; ++s) {
+      const auto chunk = dsp::cspan{pairs}.subspan(s * phy::kChipsPerSymbol / 2,
+                                                   phy::kChipsPerSymbol / 2);
+      const phy::DespreadPairsResult r = despreader.despread_pairs(chunk);
+      result.symbols.push_back(r.symbol);
+      if (r.coherence > 0.7F) {
+        corr_sum += r.correlation;
+        ++healthy;
+      }
+    }
+
+    // Update the residual model from this hop only when nearly all of its
+    // symbols decoded with high coherence and the implied correction is
+    // small — a jammed hop (whose decisions, and hence phases, cannot be
+    // trusted) is skipped and the model coasts on its CFO estimate.
+    if (4 * healthy >= 3 * seg.n_symbols && std::abs(corr_sum) > 0.0F) {
+      const double theta =
+          static_cast<double>(std::arg(corr_sum)) +
+          (track_carrier ? static_cast<double>(costas.phase()) : 0.0);
+      if (std::abs(theta) < 0.7) {
+        const double t_mid = static_cast<double>(seg.start_sample) +
+                             static_cast<double>(seg.n_samples) / 2.0;
+        const double predicted = model_phase + model_cfo * (t_mid - t_anchor);
+        if (have_measurement && t_mid > t_anchor + 1.0) {
+          const double slope =
+              std::clamp(0.7 * theta / (t_mid - t_anchor), -2e-5, 2e-5);
+          model_cfo = std::clamp(model_cfo + slope, -5e-4, 5e-4);
+        }
+        model_phase = predicted + theta;
+        t_anchor = t_mid;
+        have_measurement = true;
+      }
+    }
+  }
+
+  // Frame parsing: SFD + length + CRC decide packet success.
+  if (auto payload = phy::parse_frame_symbols(result.symbols); payload.has_value()) {
+    if (payload->size() == payload_len) {
+      result.crc_ok = true;
+      result.payload = std::move(*payload);
+    }
+  }
+  return result;
+}
+
+}  // namespace bhss::core

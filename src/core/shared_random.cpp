@@ -1,0 +1,69 @@
+#include "core/shared_random.hpp"
+
+namespace bhss::core {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) noexcept { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+SharedRandom::SharedRandom(std::uint64_t seed) noexcept {
+  std::uint64_t sm = seed;
+  for (std::uint64_t& word : s_) word = splitmix64(sm);
+}
+
+std::uint64_t SharedRandom::next_u64() noexcept {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double SharedRandom::uniform() noexcept {
+  // Use the top 53 bits for a uniform double in [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+std::size_t SharedRandom::uniform_index(std::size_t n) noexcept {
+  if (n == 0) return 0;
+  return static_cast<std::size_t>(uniform() * static_cast<double>(n)) % n;
+}
+
+std::size_t SharedRandom::pick(std::span<const double> weights) noexcept {
+  double total = 0.0;
+  for (double w : weights) total += w;
+  if (total <= 0.0 || weights.empty()) return 0;
+  double x = uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    x -= weights[i];
+    if (x < 0.0) return i;
+  }
+  return weights.size() - 1;
+}
+
+std::uint32_t SharedRandom::derive_scrambler_seed() noexcept {
+  const auto seed = static_cast<std::uint32_t>(next_u64() & 0xFFFFU);
+  return seed == 0 ? 1U : seed;
+}
+
+SharedRandom SharedRandom::for_frame(std::uint64_t session_seed,
+                                     std::uint64_t frame_counter) noexcept {
+  std::uint64_t sm = session_seed;
+  const std::uint64_t mixed = splitmix64(sm) ^ (frame_counter * 0xD1B54A32D192ED03ULL);
+  return SharedRandom(mixed);
+}
+
+}  // namespace bhss::core

@@ -1,0 +1,51 @@
+#pragma once
+
+/// @file shared_random.hpp
+/// The shared random source of the paper (Fig. 4/6): transmitter and
+/// receiver are initialised with the same seed (pre-shared key [16] or
+/// uncoordinated discovery [17] — the paper assumes such a mechanism
+/// exists, §4.1) and derive from it, in lock-step, the PN scrambler seed
+/// and the bandwidth hopping sequence. The jammer does not know the seed,
+/// so both are unpredictable to it.
+///
+/// Implemented as xoshiro256** — small, fast, reproducible across
+/// platforms (unlike std::mt19937_64's distribution wrappers).
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+namespace bhss::core {
+
+/// Deterministic PRNG shared between transmitter and receiver.
+class SharedRandom {
+ public:
+  /// Seed via splitmix64 expansion so nearby seeds give unrelated streams.
+  explicit SharedRandom(std::uint64_t seed) noexcept;
+
+  /// Next 64 random bits.
+  [[nodiscard]] std::uint64_t next_u64() noexcept;
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double uniform() noexcept;
+
+  /// Uniform integer in [0, n).
+  [[nodiscard]] std::size_t uniform_index(std::size_t n) noexcept;
+
+  /// Draw an index according to a discrete distribution (weights need not
+  /// be normalised).
+  [[nodiscard]] std::size_t pick(std::span<const double> weights) noexcept;
+
+  /// Derive a non-zero 32-bit seed for the PN chip scrambler.
+  [[nodiscard]] std::uint32_t derive_scrambler_seed() noexcept;
+
+  /// Derive a per-frame SharedRandom: both sides mix the frame counter
+  /// into the session seed so every frame gets a fresh, aligned stream.
+  [[nodiscard]] static SharedRandom for_frame(std::uint64_t session_seed,
+                                              std::uint64_t frame_counter) noexcept;
+
+ private:
+  std::array<std::uint64_t, 4> s_;
+};
+
+}  // namespace bhss::core

@@ -1,0 +1,69 @@
+#include "core/transmitter.hpp"
+
+#include <cmath>
+
+#include "phy/frame.hpp"
+#include "phy/modulator.hpp"
+#include "phy/spreader.hpp"
+
+namespace bhss::core {
+
+BhssTransmitter::BhssTransmitter(SystemConfig config) : config_(std::move(config)) {}
+
+dsp::cvec BhssTransmitter::modulate_symbols(std::span<const std::uint8_t> symbols,
+                                            std::size_t n_symbols, const HopSchedule& schedule,
+                                            std::uint32_t scrambler_seed) {
+  phy::Spreader spreader(scrambler_seed);
+  n_symbols = std::min(n_symbols, symbols.size());
+
+  // Waveform spans the samples of the covered symbols.
+  std::size_t wave_len = 0;
+  for (const HopSegment& seg : schedule.segments) {
+    if (seg.first_symbol >= n_symbols) break;
+    const std::size_t syms_here = std::min(seg.n_symbols, n_symbols - seg.first_symbol);
+    wave_len = seg.start_sample + syms_here * phy::kChipsPerSymbol * seg.sps;
+  }
+  dsp::cvec wave(wave_len, dsp::cf{0.0F, 0.0F});
+
+  for (const HopSegment& seg : schedule.segments) {
+    if (seg.first_symbol >= n_symbols) break;
+    const std::size_t syms_here = std::min(seg.n_symbols, n_symbols - seg.first_symbol);
+
+    std::vector<float> chips;
+    chips.reserve(syms_here * phy::kChipsPerSymbol);
+    for (std::size_t s = 0; s < syms_here; ++s) {
+      spreader.spread_symbol(symbols[seg.first_symbol + s], chips);
+    }
+
+    const phy::QpskModulator mod(seg.sps);
+    const dsp::cvec seg_wave = mod.modulate(chips);
+
+    // Unit-energy pulses give a mean power of 1/sps; rescale so every hop
+    // transmits at the same power (the power budget of §2 is constant —
+    // hopping trades bandwidth, not power).
+    const auto gain = static_cast<float>(std::sqrt(static_cast<double>(seg.sps)));
+    for (std::size_t i = 0; i < seg_wave.size(); ++i) {
+      wave[seg.start_sample + i] = gain * seg_wave[i];
+    }
+  }
+  return wave;
+}
+
+Transmission BhssTransmitter::transmit(std::span<const std::uint8_t> payload,
+                                       std::uint64_t frame_counter) const {
+  SharedRandom rng = SharedRandom::for_frame(config_.seed, frame_counter);
+  const std::uint32_t scrambler_seed = rng.derive_scrambler_seed();
+
+  Transmission tx;
+  tx.frame_counter = frame_counter;
+  tx.symbols = phy::build_frame_symbols(payload);
+  tx.schedule = config_.hopping
+                    ? HopSchedule::make(tx.symbols.size(), config_.symbols_per_hop,
+                                        config_.pattern, rng)
+                    : HopSchedule::fixed(tx.symbols.size(), config_.pattern.bands(),
+                                         config_.fixed_bw_index);
+  tx.samples = modulate_symbols(tx.symbols, tx.symbols.size(), tx.schedule, scrambler_seed);
+  return tx;
+}
+
+}  // namespace bhss::core

@@ -1,0 +1,33 @@
+#include "dsp/autocorr.hpp"
+
+#include <stdexcept>
+
+#include "dsp/utils.hpp"
+
+namespace bhss::dsp {
+
+fvec autocorrelation(cspan x, std::size_t max_lag) {
+  if (x.empty()) throw std::invalid_argument("autocorrelation: empty input");
+  fvec rho(max_lag + 1, 0.0F);
+  const double n = static_cast<double>(x.size());
+  for (std::size_t k = 0; k <= max_lag && k < x.size(); ++k) {
+    double acc = 0.0;
+    for (std::size_t i = k; i < x.size(); ++i) {
+      acc += static_cast<double>((x[i] * std::conj(x[i - k])).real());
+    }
+    rho[k] = static_cast<float>(acc / n);
+  }
+  return rho;
+}
+
+fvec bandlimited_noise_autocorr(double power, double bandwidth, std::size_t max_lag) {
+  if (bandwidth <= 0.0 || bandwidth > 1.0)
+    throw std::invalid_argument("bandlimited_noise_autocorr: bandwidth must be in (0, 1]");
+  fvec rho(max_lag + 1);
+  for (std::size_t k = 0; k <= max_lag; ++k) {
+    rho[k] = static_cast<float>(power * sinc(bandwidth * static_cast<double>(k)));
+  }
+  return rho;
+}
+
+}  // namespace bhss::dsp

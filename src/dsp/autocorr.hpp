@@ -1,0 +1,26 @@
+#pragma once
+
+/// @file autocorr.hpp
+/// Autocorrelation utilities. The theoretical SNR expressions of the paper
+/// (eqs. (6)-(8) and the appendix) are written in terms of the jammer
+/// autocorrelation rho_j(k); these helpers provide both empirical and
+/// closed-form versions.
+
+#include "dsp/types.hpp"
+
+namespace bhss::dsp {
+
+/// Biased empirical autocorrelation of a complex sequence:
+///   rho(k) = (1/N) sum_n x(n) conj(x(n-k)),  k = 0..max_lag.
+/// Returns max_lag+1 real values (the real part; for the wide-sense
+/// stationary noise processes used here the imaginary part vanishes).
+[[nodiscard]] fvec autocorrelation(cspan x, std::size_t max_lag);
+
+/// Closed-form autocorrelation of white noise of total power `power`,
+/// band-limited to a flat band of normalised width `bandwidth` (fraction
+/// of the sampling rate, in (0, 1]):
+///   rho(k) = power * sinc(bandwidth * k).
+[[nodiscard]] fvec bandlimited_noise_autocorr(double power, double bandwidth,
+                                              std::size_t max_lag);
+
+}  // namespace bhss::dsp

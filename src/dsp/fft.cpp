@@ -1,0 +1,81 @@
+#include "dsp/fft.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace bhss::dsp {
+
+bool Fft::valid_size(std::size_t n) noexcept {
+  return n >= 2 && (n & (n - 1)) == 0;
+}
+
+Fft::Fft(std::size_t n) : n_(n) {
+  if (!valid_size(n)) throw std::invalid_argument("Fft: size must be a power of two >= 2");
+
+  // Bit-reversal permutation table.
+  bitrev_.resize(n_);
+  std::size_t bits = 0;
+  while ((std::size_t{1} << bits) < n_) ++bits;
+  for (std::size_t i = 0; i < n_; ++i) {
+    std::size_t r = 0;
+    for (std::size_t b = 0; b < bits; ++b) {
+      if (i & (std::size_t{1} << b)) r |= std::size_t{1} << (bits - 1 - b);
+    }
+    bitrev_[i] = r;
+  }
+
+  // Twiddle factors for the forward transform.
+  twiddles_.resize(n_ / 2);
+  for (std::size_t k = 0; k < n_ / 2; ++k) {
+    const double angle = -2.0 * std::numbers::pi * static_cast<double>(k) / static_cast<double>(n_);
+    twiddles_[k] = cf(static_cast<float>(std::cos(angle)), static_cast<float>(std::sin(angle)));
+  }
+}
+
+void Fft::transform(cspan_mut x, bool inverse) const {
+  assert(x.size() == n_);
+  for (std::size_t i = 0; i < n_; ++i) {
+    const std::size_t j = bitrev_[i];
+    if (i < j) std::swap(x[i], x[j]);
+  }
+  for (std::size_t len = 2; len <= n_; len <<= 1) {
+    const std::size_t half = len / 2;
+    const std::size_t step = n_ / len;
+    for (std::size_t start = 0; start < n_; start += len) {
+      for (std::size_t k = 0; k < half; ++k) {
+        cf w = twiddles_[k * step];
+        if (inverse) w = std::conj(w);
+        const cf u = x[start + k];
+        const cf t = w * x[start + k + half];
+        x[start + k] = u + t;
+        x[start + k + half] = u - t;
+      }
+    }
+  }
+  if (inverse) {
+    const float inv_n = 1.0F / static_cast<float>(n_);
+    for (cf& v : x) v *= inv_n;
+  }
+}
+
+void Fft::forward(cspan_mut x) const { transform(x, false); }
+
+void Fft::inverse(cspan_mut x) const { transform(x, true); }
+
+cvec Fft::forward_copy(cspan x) const {
+  cvec out(x.begin(), x.end());
+  out.resize(n_, cf{0.0F, 0.0F});
+  forward(cspan_mut{out});
+  return out;
+}
+
+fvec fft_shift(fspan x) {
+  fvec out(x.size());
+  const std::size_t half = x.size() / 2;
+  for (std::size_t i = 0; i < x.size(); ++i) out[i] = x[(i + half) % x.size()];
+  return out;
+}
+
+}  // namespace bhss::dsp

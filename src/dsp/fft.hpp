@@ -1,0 +1,46 @@
+#pragma once
+
+/// @file fft.hpp
+/// Iterative radix-2 FFT with a precomputed plan. Used by the receiver's
+/// jammer spectral estimator and by the excision-filter design (eq. (3)
+/// in the paper requires an inverse DFT of the desired response).
+
+#include "dsp/types.hpp"
+
+namespace bhss::dsp {
+
+/// Radix-2 decimation-in-time FFT plan for a fixed power-of-two size.
+/// Forward transform is unnormalised; inverse divides by N so that
+/// inverse(forward(x)) == x.
+class Fft {
+ public:
+  /// @param n transform size; must be a power of two >= 2.
+  explicit Fft(std::size_t n);
+
+  [[nodiscard]] std::size_t size() const noexcept { return n_; }
+
+  /// In-place forward transform of `x` (x.size() must equal size()).
+  void forward(cspan_mut x) const;
+
+  /// In-place inverse transform of `x` (normalised by 1/N).
+  void inverse(cspan_mut x) const;
+
+  /// Out-of-place convenience: returns FFT of `x`.
+  [[nodiscard]] cvec forward_copy(cspan x) const;
+
+  /// True if `n` is a power of two >= 2.
+  [[nodiscard]] static bool valid_size(std::size_t n) noexcept;
+
+ private:
+  void transform(cspan_mut x, bool inverse) const;
+
+  std::size_t n_;
+  std::vector<std::size_t> bitrev_;
+  cvec twiddles_;  ///< exp(-j 2 pi k / n), k in [0, n/2)
+};
+
+/// Rotate a PSD / spectrum from natural FFT order (DC first) to a
+/// DC-centred order suitable for display and band-edge reasoning.
+[[nodiscard]] fvec fft_shift(fspan x);
+
+}  // namespace bhss::dsp

@@ -1,0 +1,192 @@
+#include "dsp/fir.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "dsp/utils.hpp"
+
+namespace bhss::dsp {
+
+// ---------------------------------------------------------------- FirFilter
+
+FirFilter::FirFilter(cvec taps) : taps_(std::move(taps)), head_(0) {
+  if (taps_.empty()) throw std::invalid_argument("FirFilter: taps must be non-empty");
+  history_.assign(taps_.size(), cf{0.0F, 0.0F});
+}
+
+FirFilter::FirFilter(fspan real_taps) : FirFilter(to_complex(real_taps)) {}
+
+void FirFilter::reset() noexcept {
+  std::fill(history_.begin(), history_.end(), cf{0.0F, 0.0F});
+  head_ = 0;
+}
+
+cf FirFilter::process(cf in) noexcept {
+  history_[head_] = in;
+  cf acc{0.0F, 0.0F};
+  std::size_t idx = head_;
+  const std::size_t n = taps_.size();
+  for (std::size_t k = 0; k < n; ++k) {
+    acc += taps_[k] * history_[idx];
+    idx = (idx == 0) ? n - 1 : idx - 1;
+  }
+  head_ = (head_ + 1 == n) ? 0 : head_ + 1;
+  return acc;
+}
+
+cvec FirFilter::process(cspan in) {
+  cvec out(in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) out[i] = process(in[i]);
+  return out;
+}
+
+// ------------------------------------------------------------- FftConvolver
+
+namespace {
+
+std::size_t next_pow2(std::size_t n) {
+  std::size_t p = 2;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+FftConvolver::FftConvolver(cspan taps)
+    : num_taps_(taps.size()),
+      fft_size_(next_pow2(std::max<std::size_t>(4 * taps.size(), 1024))),
+      block_size_(fft_size_ - num_taps_ + 1),
+      fft_(fft_size_) {
+  if (taps.empty()) throw std::invalid_argument("FftConvolver: taps must be non-empty");
+  taps_spectrum_ = fft_.forward_copy(taps);
+}
+
+cvec FftConvolver::filter(cspan x) const {
+  cvec out(x.size());
+  cvec block(fft_size_);
+  // Overlap-save: each iteration consumes block_size_ fresh samples and
+  // reuses the previous num_taps_-1 samples (zeros before the start).
+  const std::size_t overlap = num_taps_ - 1;
+  for (std::size_t pos = 0; pos < x.size(); pos += block_size_) {
+    for (std::size_t i = 0; i < fft_size_; ++i) {
+      // Sample index feeding this FFT bin; negative indices are zero.
+      const auto global = static_cast<std::ptrdiff_t>(pos + i) - static_cast<std::ptrdiff_t>(overlap);
+      block[i] = (global >= 0 && global < static_cast<std::ptrdiff_t>(x.size()))
+                     ? x[static_cast<std::size_t>(global)]
+                     : cf{0.0F, 0.0F};
+    }
+    fft_.forward(cspan_mut{block});
+    for (std::size_t i = 0; i < fft_size_; ++i) block[i] *= taps_spectrum_[i];
+    fft_.inverse(cspan_mut{block});
+    const std::size_t n_valid = std::min(block_size_, x.size() - pos);
+    for (std::size_t i = 0; i < n_valid; ++i) out[pos + i] = block[overlap + i];
+  }
+  return out;
+}
+
+// ------------------------------------------------------------ filter design
+
+fvec design_lowpass(std::size_t num_taps, double cutoff, Window window) {
+  if (num_taps == 0) throw std::invalid_argument("design_lowpass: num_taps must be > 0");
+  if (cutoff <= 0.0 || cutoff >= 0.5)
+    throw std::invalid_argument("design_lowpass: cutoff must be in (0, 0.5)");
+  const fvec w = make_window(window, num_taps);
+  fvec taps(num_taps);
+  const double mid = (static_cast<double>(num_taps) - 1.0) / 2.0;
+  double dc_gain = 0.0;
+  for (std::size_t i = 0; i < num_taps; ++i) {
+    const double t = static_cast<double>(i) - mid;
+    taps[i] = static_cast<float>(2.0 * cutoff * sinc(2.0 * cutoff * t) * w[i]);
+    dc_gain += taps[i];
+  }
+  // Normalise to unity DC gain so the passband is undistorted.
+  if (dc_gain != 0.0) {
+    for (float& t : taps) t = static_cast<float>(t / dc_gain);
+  }
+  return taps;
+}
+
+std::size_t lowpass_num_taps(double transition_width, double atten_db, std::size_t max_taps) {
+  if (transition_width <= 0.0 || transition_width >= 0.5)
+    throw std::invalid_argument("lowpass_num_taps: transition width must be in (0, 0.5)");
+  // Kaiser's empirical formula: N ~= (A - 7.95) / (2.285 * 2*pi*df).
+  const double a = std::max(atten_db, 9.0);
+  const double n = (a - 7.95) / (2.285 * 2.0 * std::numbers::pi * transition_width);
+  auto taps = static_cast<std::size_t>(std::ceil(n)) + 1;
+  if (taps % 2 == 0) ++taps;
+  return std::clamp<std::size_t>(taps, 3, max_taps | 1);
+}
+
+cvec design_excision_whitening(fspan psd, double floor_rel, double passband_frac) {
+  const std::size_t k_taps = psd.size();
+  if (!Fft::valid_size(k_taps))
+    throw std::invalid_argument("design_excision_whitening: psd size must be a power of two");
+  if (passband_frac <= 0.0 || passband_frac > 1.0)
+    throw std::invalid_argument("design_excision_whitening: passband_frac must be in (0, 1]");
+  const float max_p = *std::max_element(psd.begin(), psd.end());
+  if (max_p <= 0.0F) throw std::invalid_argument("design_excision_whitening: psd is all zero");
+  const double floor = static_cast<double>(max_p) * floor_rel;
+
+  // Frequency of bin k in cycles/sample, wrapped into [-0.5, 0.5).
+  auto bin_freq = [k_taps](std::size_t k) {
+    const double f = static_cast<double>(k) / static_cast<double>(k_taps);
+    return (f < 0.5) ? f : f - 1.0;
+  };
+
+  // Desired response, eq. (3): magnitude 1/sqrt(P(k)), linear phase,
+  // restricted to the signal passband.
+  cvec h_spec(k_taps);
+  std::vector<double> mags(k_taps);
+  std::vector<double> inband;
+  inband.reserve(k_taps);
+  for (std::size_t k = 0; k < k_taps; ++k) {
+    if (std::abs(bin_freq(k)) <= passband_frac / 2.0) {
+      mags[k] = 1.0 / std::sqrt(std::max(static_cast<double>(psd[k]), floor));
+      inband.push_back(mags[k]);
+    } else {
+      mags[k] = 0.0;
+    }
+  }
+  // Normalise so the median in-band magnitude (the "quiet" part of the
+  // band) is 1.
+  std::nth_element(inband.begin(), inband.begin() + static_cast<std::ptrdiff_t>(inband.size() / 2),
+                   inband.end());
+  const double median = std::max(inband[inband.size() / 2], 1e-30);
+  // Linear phase with an integer group delay of K/2 samples. Eq. (3) uses
+  // (K-1)/2, which for even K is a half-sample delay; we shift by one half
+  // sample more so the receiver can compensate the delay exactly. The
+  // magnitude response is identical. exp(-j 2 pi k (K/2) / K) = (-1)^k.
+  for (std::size_t k = 0; k < k_taps; ++k) {
+    const double mag = mags[k] / median;
+    const double sign = (k % 2 == 0) ? 1.0 : -1.0;
+    h_spec[k] = cf(static_cast<float>(mag * sign), 0.0F);
+  }
+
+  // Taps are the inverse DFT of the sampled response.
+  Fft fft(k_taps);
+  fft.inverse(cspan_mut{h_spec});
+  return h_spec;
+}
+
+cvec frequency_response(cspan taps, std::size_t nfft) {
+  Fft fft(nfft);
+  return fft.forward_copy(taps);
+}
+
+fvec power_response(cspan taps, std::size_t nfft) {
+  const cvec h = frequency_response(taps, nfft);
+  fvec out(nfft);
+  for (std::size_t i = 0; i < nfft; ++i) out[i] = std::norm(h[i]);
+  return out;
+}
+
+cvec to_complex(fspan real_taps) {
+  cvec out(real_taps.size());
+  for (std::size_t i = 0; i < real_taps.size(); ++i) out[i] = cf{real_taps[i], 0.0F};
+  return out;
+}
+
+}  // namespace bhss::dsp

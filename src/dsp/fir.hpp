@@ -1,0 +1,115 @@
+#pragma once
+
+/// @file fir.hpp
+/// FIR filtering and filter design. This is the heart of the BHSS
+/// receiver's pre-despreading interference suppression:
+///  * windowed-sinc low-pass design (used against wide-band jammers,
+///    eq. (4) of the paper),
+///  * frequency-sampling "whitening" excision design (used against
+///    narrow-band jammers, eq. (3) of the paper),
+///  * a stateful direct-form filter for streaming use and an
+///    overlap-save FFT convolver for fast block processing.
+
+#include "dsp/fft.hpp"
+#include "dsp/types.hpp"
+#include "dsp/window.hpp"
+
+namespace bhss::dsp {
+
+/// Streaming direct-form FIR filter with complex taps.
+/// y[n] = sum_k taps[k] * x[n-k], with zero initial state.
+class FirFilter {
+ public:
+  /// Construct from complex taps; must be non-empty.
+  explicit FirFilter(cvec taps);
+
+  /// Construct from real taps (most designed filters are linear-phase real).
+  explicit FirFilter(fspan real_taps);
+
+  /// Clear the delay line.
+  void reset() noexcept;
+
+  /// Filter a single sample.
+  [[nodiscard]] cf process(cf in) noexcept;
+
+  /// Filter a block; output has the same length as input.
+  [[nodiscard]] cvec process(cspan in);
+
+  [[nodiscard]] const cvec& taps() const noexcept { return taps_; }
+  [[nodiscard]] std::size_t order() const noexcept { return taps_.size() - 1; }
+
+ private:
+  cvec taps_;
+  cvec history_;      ///< ring buffer of past inputs
+  std::size_t head_;  ///< index of most recent sample in history_
+};
+
+/// Overlap-save block convolver. Produces exactly the same output as a
+/// freshly reset FirFilter (causal, zero initial state, output length ==
+/// input length) but in O(N log N) — essential for the high filter orders
+/// the paper uses (up to 3181 taps).
+class FftConvolver {
+ public:
+  explicit FftConvolver(cspan taps);
+
+  /// Causal filtering of a whole buffer.
+  [[nodiscard]] cvec filter(cspan x) const;
+
+  [[nodiscard]] std::size_t num_taps() const noexcept { return num_taps_; }
+
+ private:
+  std::size_t num_taps_;
+  std::size_t fft_size_;
+  std::size_t block_size_;
+  Fft fft_;
+  cvec taps_spectrum_;
+};
+
+/// Windowed-sinc linear-phase low-pass design.
+/// @param num_taps   filter length (odd recommended for symmetric delay)
+/// @param cutoff     normalised cutoff in cycles/sample, 0 < cutoff < 0.5
+/// @param window     window applied to the ideal impulse response
+/// @returns real taps with unity DC gain.
+[[nodiscard]] fvec design_lowpass(std::size_t num_taps, double cutoff,
+                                  Window window = Window::hamming);
+
+/// Kaiser estimate of the number of taps needed for a given transition
+/// width (normalised, cycles/sample) and stop-band attenuation in dB.
+/// Result is forced odd and clamped to [3, max_taps].
+[[nodiscard]] std::size_t lowpass_num_taps(double transition_width, double atten_db,
+                                           std::size_t max_taps = 3181);
+
+/// Frequency-sampling excision ("whitening") filter from eq. (3):
+///   H(k) = 1 / sqrt(P(k)) * exp(-j pi (K-1) k / K)
+/// where P is the estimated PSD in natural FFT order. The filter is
+/// normalised so its median magnitude response is unity — attenuation is
+/// then concentrated where the jammer sits and ~1 elsewhere. We use an
+/// integer group delay of K/2 samples (eq. (3)'s (K-1)/2 is fractional
+/// for even K); the magnitude response is unchanged and the receiver can
+/// compensate the delay exactly.
+/// @param psd            PSD estimate, natural FFT order; size must be a
+///                       power of two (it sets the number of taps K).
+/// @param floor_rel      bins below floor_rel * max(P) are clamped to
+///                       avoid huge gains in empty bins.
+/// @param passband_frac  two-sided width (fraction of the sampling rate)
+///                       outside which the response is forced to zero.
+///                       Default 1.0 whitens the whole band (the paper's
+///                       chip-rate-sampled receiver); an oversampled
+///                       receiver passes its signal bandwidth here so the
+///                       whitening gain is normalised in-band and
+///                       out-of-band noise is rejected as well.
+/// @returns K complex taps with group delay K/2.
+[[nodiscard]] cvec design_excision_whitening(fspan psd, double floor_rel = 1e-6,
+                                             double passband_frac = 1.0);
+
+/// Complex frequency response of a tap set evaluated at `nfft` points
+/// (natural FFT order). For tests and plotting.
+[[nodiscard]] cvec frequency_response(cspan taps, std::size_t nfft);
+
+/// |H(f)|^2 of a tap set at `nfft` points, natural FFT order.
+[[nodiscard]] fvec power_response(cspan taps, std::size_t nfft);
+
+/// Widen real taps into complex ones.
+[[nodiscard]] cvec to_complex(fspan real_taps);
+
+}  // namespace bhss::dsp

@@ -1,0 +1,92 @@
+#include "dsp/psd.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "dsp/fft.hpp"
+
+namespace bhss::dsp {
+
+fvec welch_psd(cspan x, std::size_t fft_size, double overlap, Window window) {
+  if (!Fft::valid_size(fft_size))
+    throw std::invalid_argument("welch_psd: fft_size must be a power of two >= 2");
+  if (overlap < 0.0 || overlap > 0.95)
+    throw std::invalid_argument("welch_psd: overlap must be in [0, 0.95]");
+  if (x.empty()) throw std::invalid_argument("welch_psd: empty input");
+
+  const fvec w = make_window(window, fft_size);
+  const double w_power = window_power(w);
+  const auto hop = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::lround(static_cast<double>(fft_size) * (1.0 - overlap))));
+
+  Fft fft(fft_size);
+  fvec psd(fft_size, 0.0F);
+  cvec seg(fft_size);
+  std::size_t n_segments = 0;
+
+  auto accumulate = [&](cspan chunk) {
+    for (std::size_t i = 0; i < fft_size; ++i) {
+      const cf v = (i < chunk.size()) ? chunk[i] : cf{0.0F, 0.0F};
+      seg[i] = v * w[i];
+    }
+    fft.forward(cspan_mut{seg});
+    for (std::size_t i = 0; i < fft_size; ++i) {
+      psd[i] += static_cast<float>(std::norm(seg[i]));
+    }
+    ++n_segments;
+  };
+
+  if (x.size() < fft_size) {
+    accumulate(x);  // single zero-padded segment
+  } else {
+    for (std::size_t pos = 0; pos + fft_size <= x.size(); pos += hop) {
+      accumulate(x.subspan(pos, fft_size));
+    }
+  }
+
+  // Normalise: |X_w(k)|^2 / (N * sum w^2) summed over bins equals the mean
+  // power of the windowed signal (Parseval), averaged over segments.
+  const auto norm = static_cast<float>(
+      1.0 / (static_cast<double>(n_segments) * static_cast<double>(fft_size) * w_power));
+  for (float& p : psd) p *= norm;
+  return psd;
+}
+
+fvec bartlett_psd(cspan x, std::size_t fft_size) {
+  return welch_psd(x, fft_size, 0.0, Window::rectangular);
+}
+
+fvec periodogram(cspan x, std::size_t fft_size) {
+  const std::size_t n = std::min<std::size_t>(x.size(), fft_size);
+  return welch_psd(x.first(n), fft_size, 0.0, Window::rectangular);
+}
+
+double psd_total_power(fspan psd) noexcept {
+  double acc = 0.0;
+  for (float p : psd) acc += p;
+  return acc;
+}
+
+double occupied_bandwidth(fspan psd, double fraction) {
+  const std::size_t n = psd.size();
+  if (n == 0) throw std::invalid_argument("occupied_bandwidth: empty psd");
+  const double total = psd_total_power(psd);
+  if (total <= 0.0) return 1.0;
+
+  // Grow a symmetric band around DC (bin 0) until it holds `fraction` of
+  // the power. Natural FFT order: positive freqs are bins 1..n/2, negative
+  // freqs are bins n-1 downward.
+  double acc = psd[0];
+  std::size_t half_width = 0;  // bins on each side of DC
+  const std::size_t max_half = n / 2;
+  while (acc < fraction * total && half_width < max_half) {
+    ++half_width;
+    acc += psd[half_width];
+    if (half_width < n - half_width) acc += psd[n - half_width];
+  }
+  const double bins_used = 1.0 + 2.0 * static_cast<double>(half_width);
+  return std::min(1.0, bins_used / static_cast<double>(n));
+}
+
+}  // namespace bhss::dsp

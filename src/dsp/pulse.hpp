@@ -1,0 +1,25 @@
+#pragma once
+
+/// @file pulse.hpp
+/// Chip pulse shapes. The paper's implementation modulates chips with a
+/// half-sine pulse g(t) (as in IEEE 802.15.4 O-QPSK) and hops bandwidth by
+/// scaling the pulse duration: g(t) -> g(alpha t) halves/doubles the
+/// occupied bandwidth (eq. (1)).
+
+#include "dsp/types.hpp"
+
+namespace bhss::dsp {
+
+/// Half-sine pulse sampled at `samples_per_chip` points:
+///   g[i] = sin(pi * i / sps), i = 0..sps-1.
+/// Scaling sps by 1/alpha is exactly the g(alpha t) bandwidth hop of the
+/// paper. The pulse is normalised to unit energy per chip so that hopping
+/// does not change transmit power.
+[[nodiscard]] fvec half_sine_pulse(std::size_t samples_per_chip);
+
+/// Matched filter taps for the half-sine pulse (time-reversed pulse; the
+/// half-sine is symmetric so this equals the pulse itself), normalised so
+/// that the matched-filter output at the optimum instant has unit gain.
+[[nodiscard]] fvec half_sine_matched(std::size_t samples_per_chip);
+
+}  // namespace bhss::dsp

@@ -1,0 +1,31 @@
+#pragma once
+
+/// @file types.hpp
+/// Fundamental sample types shared by every BHSS library.
+
+#include <complex>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace bhss::dsp {
+
+/// Complex baseband sample (I/Q pair), single precision as on SDR hardware.
+using cf = std::complex<float>;
+
+/// Owning buffer of complex samples.
+using cvec = std::vector<cf>;
+
+/// Owning buffer of real samples (filter taps, PSD bins, pulse shapes).
+using fvec = std::vector<float>;
+
+/// Non-owning view of complex samples.
+using cspan = std::span<const cf>;
+
+/// Non-owning mutable view of complex samples.
+using cspan_mut = std::span<cf>;
+
+/// Non-owning view of real samples.
+using fspan = std::span<const float>;
+
+}  // namespace bhss::dsp

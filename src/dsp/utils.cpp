@@ -1,0 +1,39 @@
+#include "dsp/utils.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace bhss::dsp {
+
+double db_to_linear(double db) noexcept { return std::pow(10.0, db / 10.0); }
+
+double linear_to_db(double linear) noexcept {
+  if (linear <= 0.0) return -300.0;
+  return 10.0 * std::log10(linear);
+}
+
+double sinc(double x) noexcept {
+  if (std::abs(x) < 1e-12) return 1.0;
+  const double px = std::numbers::pi * x;
+  return std::sin(px) / px;
+}
+
+double mean_power(cspan x) noexcept {
+  if (x.empty()) return 0.0;
+  return energy(x) / static_cast<double>(x.size());
+}
+
+double energy(cspan x) noexcept {
+  double acc = 0.0;
+  for (const cf& s : x) acc += static_cast<double>(std::norm(s));
+  return acc;
+}
+
+void scale_to_power(cspan_mut x, double target_power) noexcept {
+  const double current = mean_power(x);
+  if (current <= 0.0) return;
+  const auto gain = static_cast<float>(std::sqrt(target_power / current));
+  for (cf& s : x) s *= gain;
+}
+
+}  // namespace bhss::dsp

@@ -1,0 +1,27 @@
+#pragma once
+
+/// @file window.hpp
+/// Classic FIR/spectral analysis window functions.
+
+#include "dsp/types.hpp"
+
+namespace bhss::dsp {
+
+/// Supported window shapes.
+enum class Window {
+  rectangular,
+  hamming,
+  hann,
+  blackman,
+  blackman_harris,
+  kaiser,
+};
+
+/// Build a window of length `n`. `kaiser_beta` is only used for
+/// Window::kaiser. Lengths 0 and 1 return trivial windows.
+[[nodiscard]] fvec make_window(Window type, std::size_t n, double kaiser_beta = 8.6);
+
+/// Sum of squared window coefficients (used for PSD normalisation).
+[[nodiscard]] double window_power(fspan w) noexcept;
+
+}  // namespace bhss::dsp

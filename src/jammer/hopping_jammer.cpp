@@ -1,0 +1,37 @@
+#include "jammer/hopping_jammer.hpp"
+
+#include <stdexcept>
+
+namespace bhss::jammer {
+
+HoppingJammer::HoppingJammer(std::vector<double> bandwidth_fracs,
+                             std::vector<double> probabilities, std::size_t dwell_samples,
+                             std::uint64_t seed)
+    : bandwidth_fracs_(std::move(bandwidth_fracs)),
+      dwell_samples_(dwell_samples),
+      rng_(seed),
+      pick_(probabilities.begin(), probabilities.end()) {
+  if (bandwidth_fracs_.empty() || bandwidth_fracs_.size() != probabilities.size())
+    throw std::invalid_argument("HoppingJammer: bandwidths/probabilities size mismatch");
+  if (dwell_samples_ == 0) throw std::invalid_argument("HoppingJammer: dwell must be > 0");
+  sources_.reserve(bandwidth_fracs_.size());
+  for (std::size_t i = 0; i < bandwidth_fracs_.size(); ++i) {
+    sources_.emplace_back(bandwidth_fracs_[i], seed * 0x9E3779B97F4A7C15ULL + i + 1);
+  }
+}
+
+dsp::cvec HoppingJammer::generate(std::size_t n) {
+  dsp::cvec out;
+  out.reserve(n);
+  last_hops_.clear();
+  while (out.size() < n) {
+    const std::size_t idx = pick_(rng_);
+    last_hops_.push_back(bandwidth_fracs_[idx]);
+    const std::size_t chunk = std::min(dwell_samples_, n - out.size());
+    const dsp::cvec seg = sources_[idx].generate(chunk);
+    out.insert(out.end(), seg.begin(), seg.end());
+  }
+  return out;
+}
+
+}  // namespace bhss::jammer

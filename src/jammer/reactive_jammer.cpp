@@ -1,0 +1,76 @@
+#include "jammer/reactive_jammer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace bhss::jammer {
+
+ReactiveJammer::ReactiveJammer(std::vector<double> available_bws, std::size_t reaction_delay,
+                               std::uint64_t seed)
+    : available_bws_(std::move(available_bws)), reaction_delay_(reaction_delay) {
+  if (available_bws_.empty())
+    throw std::invalid_argument("ReactiveJammer: need at least one bandwidth");
+  sources_.reserve(available_bws_.size());
+  for (std::size_t i = 0; i < available_bws_.size(); ++i) {
+    sources_.emplace_back(available_bws_[i], seed * 0xD1B54A32D192ED03ULL + i + 1);
+  }
+  current_bw_index_ = static_cast<std::size_t>(
+      std::distance(available_bws_.begin(),
+                    std::max_element(available_bws_.begin(), available_bws_.end())));
+}
+
+std::size_t ReactiveJammer::closest_bw_index(double bw) const noexcept {
+  std::size_t best = 0;
+  double best_dist = std::abs(std::log(available_bws_[0]) - std::log(bw));
+  for (std::size_t i = 1; i < available_bws_.size(); ++i) {
+    const double d = std::abs(std::log(available_bws_[i]) - std::log(bw));
+    if (d < best_dist) {
+      best_dist = d;
+      best = i;
+    }
+  }
+  return best;
+}
+
+dsp::cvec ReactiveJammer::generate(std::span<const ObservedHop> hops, std::size_t n) {
+  // The last matched bandwidth persists until the first delayed
+  // observation of this transmission kicks in.
+  const std::size_t idle = current_bw_index_;
+
+  // Build the jammer's own switching timeline: each observed hop takes
+  // effect reaction_delay samples after it started.
+  struct Segment {
+    std::size_t start;
+    std::size_t bw_index;
+  };
+  std::vector<Segment> timeline;
+  timeline.push_back({0, idle});
+  for (const ObservedHop& hop : hops) {
+    timeline.push_back({hop.start + reaction_delay_, closest_bw_index(hop.bandwidth_frac)});
+  }
+  std::stable_sort(timeline.begin(), timeline.end(),
+                   [](const Segment& a, const Segment& b) { return a.start < b.start; });
+
+  dsp::cvec out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < timeline.size() && out.size() < n; ++i) {
+    const std::size_t seg_start = std::max(timeline[i].start, out.size());
+    const std::size_t seg_end =
+        (i + 1 < timeline.size()) ? std::min<std::size_t>(timeline[i + 1].start, n) : n;
+    if (seg_end <= seg_start) continue;
+    const dsp::cvec seg = sources_[timeline[i].bw_index].generate(seg_end - seg_start);
+    out.insert(out.end(), seg.begin(), seg.end());
+  }
+  if (out.size() < n) {
+    const dsp::cvec tail = sources_[idle].generate(n - out.size());
+    out.insert(out.end(), tail.begin(), tail.end());
+  }
+  // The jammer eventually reacts to the last thing it observed, even when
+  // that reaction lands after this transmission ended (it then carries the
+  // stale bandwidth into the next one).
+  if (!hops.empty()) current_bw_index_ = closest_bw_index(hops.back().bandwidth_frac);
+  return out;
+}
+
+}  // namespace bhss::jammer

@@ -1,0 +1,38 @@
+#include "phy/chip_table.hpp"
+
+namespace bhss::phy {
+namespace {
+
+/// Base chip sequence of symbol 0 (IEEE 802.15.4-2011, table 73), chip c0
+/// first: 1101 1001 1100 0011 0101 0010 0010 1110.
+constexpr std::array<int, kChipsPerSymbol> kBase = {
+    1, 1, 0, 1, 1, 0, 0, 1, 1, 1, 0, 0, 0, 0, 1, 1,
+    0, 1, 0, 1, 0, 0, 1, 0, 0, 0, 1, 0, 1, 1, 1, 0,
+};
+
+}  // namespace
+
+ChipTable::ChipTable() {
+  for (std::size_t s = 0; s < kNumSymbols; ++s) {
+    const std::size_t rotation = 4 * (s % 8);
+    const bool invert_odd = s >= 8;
+    for (std::size_t c = 0; c < kChipsPerSymbol; ++c) {
+      int bit = kBase[(c + rotation) % kChipsPerSymbol];
+      if (invert_odd && (c % 2 == 1)) bit ^= 1;
+      rows_[s][c] = bit ? -1.0F : 1.0F;
+    }
+  }
+}
+
+int ChipTable::cross_correlation(std::uint8_t a, std::uint8_t b) const noexcept {
+  float acc = 0.0F;
+  for (std::size_t c = 0; c < kChipsPerSymbol; ++c) acc += rows_[a][c] * rows_[b][c];
+  return static_cast<int>(acc);
+}
+
+const ChipTable& ChipTable::instance() {
+  static const ChipTable table;
+  return table;
+}
+
+}  // namespace bhss::phy

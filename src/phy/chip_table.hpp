@@ -1,0 +1,45 @@
+#pragma once
+
+/// @file chip_table.hpp
+/// 16-ary quasi-orthogonal chip table, modelled on the IEEE 802.15.4
+/// 2450 MHz O-QPSK PHY: each 4-bit symbol is spread to 32 chips
+/// (spreading factor 8 per the paper's §6.1, processing gain 9 dB).
+/// Even symbols 0..7 are 4-chip cyclic rotations of a base m-sequence;
+/// symbols 8..15 are the same rotations with the odd-indexed chips
+/// inverted (which corresponds to conjugating the O-QPSK waveform).
+
+#include <array>
+#include <cstdint>
+
+#include "dsp/types.hpp"
+
+namespace bhss::phy {
+
+inline constexpr std::size_t kChipsPerSymbol = 32;
+inline constexpr std::size_t kNumSymbols = 16;
+inline constexpr std::size_t kBitsPerSymbol = 4;
+
+/// One spreading sequence: 32 antipodal chips (+1/-1).
+using ChipSequence = std::array<float, kChipsPerSymbol>;
+
+/// The full 16-row chip table.
+class ChipTable {
+ public:
+  ChipTable();
+
+  /// Chip sequence for symbol `s` (0..15).
+  [[nodiscard]] const ChipSequence& sequence(std::uint8_t s) const noexcept {
+    return rows_[s];
+  }
+
+  /// Normalised cross-correlation (in chips, -32..32) between two rows.
+  [[nodiscard]] int cross_correlation(std::uint8_t a, std::uint8_t b) const noexcept;
+
+  /// Singleton accessor; the table is immutable.
+  [[nodiscard]] static const ChipTable& instance();
+
+ private:
+  std::array<ChipSequence, kNumSymbols> rows_;
+};
+
+}  // namespace bhss::phy

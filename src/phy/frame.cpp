@@ -1,0 +1,58 @@
+#include "phy/frame.hpp"
+
+#include <stdexcept>
+
+#include "phy/crc16.hpp"
+#include "phy/spreader.hpp"
+
+namespace bhss::phy {
+
+std::vector<std::uint8_t> build_frame_symbols(std::span<const std::uint8_t> payload) {
+  if (payload.size() > FrameSpec::max_payload)
+    throw std::invalid_argument("build_frame_symbols: payload too long");
+
+  std::vector<std::uint8_t> bytes;
+  bytes.reserve(4 + 1 + 1 + payload.size() + 2);
+  bytes.insert(bytes.end(), 4, std::uint8_t{0x00});  // preamble
+  bytes.push_back(FrameSpec::sfd_byte);
+  bytes.push_back(static_cast<std::uint8_t>(payload.size()));
+  bytes.insert(bytes.end(), payload.begin(), payload.end());
+
+  // CRC over length + payload.
+  const std::uint16_t crc =
+      crc16_ccitt(std::span<const std::uint8_t>{bytes}.subspan(5, 1 + payload.size()));
+  bytes.push_back(static_cast<std::uint8_t>(crc & 0xFFU));
+  bytes.push_back(static_cast<std::uint8_t>((crc >> 8) & 0xFFU));
+
+  return bytes_to_symbols(bytes);
+}
+
+std::optional<std::vector<std::uint8_t>> parse_frame_symbols(
+    std::span<const std::uint8_t> symbols) {
+  constexpr std::size_t header = FrameSpec::preamble_symbols + FrameSpec::sfd_symbols +
+                                 FrameSpec::length_symbols;
+  if (symbols.size() < header + FrameSpec::crc_symbols) return std::nullopt;
+
+  const std::vector<std::uint8_t> head_bytes = symbols_to_bytes(symbols.first(header));
+  if (head_bytes[4] != FrameSpec::sfd_byte) return std::nullopt;
+  const std::size_t payload_len = head_bytes[5];
+  if (symbols.size() < FrameSpec::total_symbols(payload_len)) return std::nullopt;
+
+  const std::size_t body_symbols = 2 * payload_len + FrameSpec::crc_symbols;
+  const std::vector<std::uint8_t> body =
+      symbols_to_bytes(symbols.subspan(header, body_symbols));
+
+  std::vector<std::uint8_t> check;
+  check.reserve(1 + payload_len);
+  check.push_back(head_bytes[5]);
+  check.insert(check.end(), body.begin(), body.begin() + static_cast<std::ptrdiff_t>(payload_len));
+  const std::uint16_t crc = crc16_ccitt(check);
+  const std::uint16_t rx_crc = static_cast<std::uint16_t>(
+      body[payload_len] | (static_cast<std::uint16_t>(body[payload_len + 1]) << 8));
+  if (crc != rx_crc) return std::nullopt;
+
+  return std::vector<std::uint8_t>(body.begin(),
+                                   body.begin() + static_cast<std::ptrdiff_t>(payload_len));
+}
+
+}  // namespace bhss::phy

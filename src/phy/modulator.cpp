@@ -1,0 +1,69 @@
+#include "phy/modulator.hpp"
+
+#include <stdexcept>
+
+#include "dsp/fir.hpp"
+#include "dsp/pulse.hpp"
+
+namespace bhss::phy {
+
+QpskModulator::QpskModulator(std::size_t samples_per_chip)
+    : sps_(samples_per_chip), pulse_(dsp::half_sine_pulse(2 * samples_per_chip)) {
+  if (sps_ < 2 || sps_ % 2 != 0)
+    throw std::invalid_argument("QpskModulator: samples_per_chip must be even and >= 2");
+}
+
+dsp::cvec QpskModulator::modulate(std::span<const float> chips) const {
+  if (chips.size() % 2 != 0)
+    throw std::invalid_argument("QpskModulator: chip count must be even");
+  const std::size_t n_pairs = chips.size() / 2;
+  dsp::cvec out(chips.size() * sps_, dsp::cf{0.0F, 0.0F});
+  const std::size_t pulse_len = pulse_.size();  // == 2 * sps_
+  for (std::size_t m = 0; m < n_pairs; ++m) {
+    const float a = chips[2 * m];      // in-phase chip
+    const float b = chips[2 * m + 1];  // quadrature chip
+    const std::size_t start = pulse_len * m;
+    for (std::size_t k = 0; k < pulse_len; ++k) {
+      out[start + k] = dsp::cf{a * pulse_[k], b * pulse_[k]};
+    }
+  }
+  return out;
+}
+
+QpskDemodulator::QpskDemodulator(std::size_t samples_per_chip)
+    : sps_(samples_per_chip), matched_(dsp::half_sine_matched(2 * samples_per_chip)) {
+  if (sps_ < 2 || sps_ % 2 != 0)
+    throw std::invalid_argument("QpskDemodulator: samples_per_chip must be even and >= 2");
+}
+
+dsp::cvec QpskDemodulator::demodulate_pairs(dsp::cspan samples, std::size_t n_chips) const {
+  if (n_chips % 2 != 0)
+    throw std::invalid_argument("QpskDemodulator: chip count must be even");
+  if (samples.size() < samples_needed(n_chips))
+    throw std::invalid_argument("QpskDemodulator: not enough samples for requested chips");
+
+  // Matched-filter the segment and sample both rails at the end of each
+  // chip pair (the matched-filter peak of non-overlapping pulses).
+  dsp::FirFilter mf{dsp::fspan{matched_}};
+  const dsp::cvec y = mf.process(samples.first(samples_needed(n_chips)));
+
+  const std::size_t n_pairs = n_chips / 2;
+  const std::size_t pulse_len = 2 * sps_;
+  dsp::cvec pairs(n_pairs);
+  for (std::size_t m = 0; m < n_pairs; ++m) {
+    pairs[m] = y[pulse_len * m + pulse_len - 1];
+  }
+  return pairs;
+}
+
+std::vector<float> QpskDemodulator::demodulate(dsp::cspan samples, std::size_t n_chips) const {
+  const dsp::cvec pairs = demodulate_pairs(samples, n_chips);
+  std::vector<float> soft(n_chips);
+  for (std::size_t m = 0; m < pairs.size(); ++m) {
+    soft[2 * m] = pairs[m].real();
+    soft[2 * m + 1] = pairs[m].imag();
+  }
+  return soft;
+}
+
+}  // namespace bhss::phy

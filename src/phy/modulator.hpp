@@ -1,0 +1,84 @@
+#pragma once
+
+/// @file modulator.hpp
+/// QPSK half-sine chip modulation with a configurable number of samples
+/// per chip. This is where bandwidth hopping physically happens: the
+/// transmitter keeps the sampling rate fixed (the paper uses Rs = 20 MS/s
+/// for every bandwidth, §6.1) and stretches the pulse duration by an
+/// integer factor, which shrinks the occupied bandwidth by the same
+/// factor (eq. (1): g(t) -> g(alpha t)).
+///
+/// Chip mapping (paper §6.1: "a BHSS transmitter and receiver for the
+/// QPSK modulation ... the chips are modulated with a half-sine pulse"):
+/// consecutive chip pairs (a, b) form one QPSK symbol a + jb, shaped by a
+/// half-sine pulse spanning the two chip periods. Pulses of consecutive
+/// pairs do not overlap, so a hop segment is exactly
+/// n_chips * samples_per_chip samples long and hops are cleanly
+/// separable in time.
+
+#include "dsp/types.hpp"
+
+namespace bhss::phy {
+
+/// Chip-stream modulator for one fixed samples-per-chip setting.
+/// Bandwidth hopping is realised by using a different modulator per hop
+/// and concatenating the segment waveforms.
+class QpskModulator {
+ public:
+  /// @param samples_per_chip  even and >= 2 (one half-sine pulse spans
+  ///                          2 * sps samples = one chip pair).
+  explicit QpskModulator(std::size_t samples_per_chip);
+
+  /// Modulate an even number of antipodal chips.
+  /// @returns exactly chips.size() * sps samples.
+  [[nodiscard]] dsp::cvec modulate(std::span<const float> chips) const;
+
+  /// Samples a segment of `n_chips` occupies: n_chips * sps.
+  [[nodiscard]] std::size_t segment_samples(std::size_t n_chips) const noexcept {
+    return n_chips * sps_;
+  }
+
+  [[nodiscard]] std::size_t samples_per_chip() const noexcept { return sps_; }
+
+  /// Mean transmit power of a long modulated chip stream (two unit-energy
+  /// rails per 2*sps samples): 1 / sps.
+  [[nodiscard]] double nominal_power() const noexcept {
+    return 1.0 / static_cast<double>(sps_);
+  }
+
+ private:
+  std::size_t sps_;
+  dsp::fvec pulse_;  ///< unit-energy half-sine spanning 2*sps samples
+};
+
+/// Matched-filter chip demodulator for one samples-per-chip setting.
+class QpskDemodulator {
+ public:
+  explicit QpskDemodulator(std::size_t samples_per_chip);
+
+  /// Recover `n_chips` soft chips from a segment waveform.
+  /// @param samples  at least n_chips * sps samples, starting at the first
+  ///                 sample of the first pulse.
+  /// @returns n_chips soft chip values (sign = hard decision).
+  [[nodiscard]] std::vector<float> demodulate(dsp::cspan samples, std::size_t n_chips) const;
+
+  /// Complex matched-filter peaks, one per chip pair (n_chips / 2 values).
+  /// The real part carries the even chip, the imaginary part the odd chip;
+  /// a residual carrier phase rotates the whole value, which the
+  /// despreader's complex correlation can measure and the receiver's
+  /// decision-directed tracker exploits.
+  [[nodiscard]] dsp::cvec demodulate_pairs(dsp::cspan samples, std::size_t n_chips) const;
+
+  [[nodiscard]] std::size_t samples_per_chip() const noexcept { return sps_; }
+
+  /// Samples required to demodulate n_chips chips.
+  [[nodiscard]] std::size_t samples_needed(std::size_t n_chips) const noexcept {
+    return n_chips * sps_;
+  }
+
+ private:
+  std::size_t sps_;
+  dsp::fvec matched_;  ///< matched filter taps (== the unit-energy pulse)
+};
+
+}  // namespace bhss::phy

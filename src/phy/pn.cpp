@@ -1,0 +1,28 @@
+#include "phy/pn.hpp"
+
+namespace bhss::phy {
+
+LfsrPn::LfsrPn(std::uint32_t seed, std::uint32_t taps, unsigned length) noexcept
+    : taps_(taps), mask_((length >= 32) ? 0xFFFFFFFFU : ((1U << length) - 1U)) {
+  state_ = seed & mask_;
+  if (state_ == 0) state_ = 1;  // all-zero is the LFSR's absorbing state
+}
+
+bool LfsrPn::next_bit() noexcept {
+  // Galois form: shift right, apply the tap mask when a 1 falls out.
+  // With the default mask 0xB400 (x^16 + x^14 + x^13 + x^11 + 1) the
+  // sequence is maximal length (period 2^16 - 1).
+  const bool out = (state_ & 1U) != 0;
+  state_ >>= 1;
+  if (out) state_ ^= taps_;
+  state_ &= mask_;
+  return out;
+}
+
+float LfsrPn::next_chip() noexcept { return next_bit() ? -1.0F : 1.0F; }
+
+void LfsrPn::fill_chips(std::span<float> out) noexcept {
+  for (float& c : out) c = next_chip();
+}
+
+}  // namespace bhss::phy

@@ -1,0 +1,125 @@
+#include "phy/spreader.hpp"
+
+#include <limits>
+#include <numbers>
+#include <stdexcept>
+
+namespace bhss::phy {
+
+Spreader::Spreader(std::uint32_t scrambler_seed)
+    : scrambling_(scrambler_seed != 0), pn_(scrambler_seed) {}
+
+void Spreader::spread_symbol(std::uint8_t symbol, std::vector<float>& out) {
+  if (symbol >= kNumSymbols) throw std::invalid_argument("spread_symbol: symbol must be 0..15");
+  const ChipSequence& row = ChipTable::instance().sequence(symbol);
+  for (std::size_t c = 0; c < kChipsPerSymbol; ++c) {
+    const float s = scrambling_ ? pn_.next_chip() : 1.0F;
+    out.push_back(row[c] * s);
+  }
+}
+
+std::vector<float> Spreader::spread(std::span<const std::uint8_t> symbols) {
+  std::vector<float> out;
+  out.reserve(symbols.size() * kChipsPerSymbol);
+  for (std::uint8_t s : symbols) spread_symbol(s, out);
+  return out;
+}
+
+Despreader::Despreader(std::uint32_t scrambler_seed)
+    : scrambling_(scrambler_seed != 0), pn_(scrambler_seed) {}
+
+DespreadResult Despreader::despread_symbol(std::span<const float> soft_chips) {
+  if (soft_chips.size() != kChipsPerSymbol)
+    throw std::invalid_argument("despread_symbol: need exactly 32 soft chips");
+
+  // Undo the scrambler once, then correlate with every candidate row.
+  std::array<float, kChipsPerSymbol> descrambled{};
+  for (std::size_t c = 0; c < kChipsPerSymbol; ++c) {
+    const float s = scrambling_ ? pn_.next_chip() : 1.0F;
+    descrambled[c] = soft_chips[c] * s;
+  }
+
+  DespreadResult result;
+  result.correlation = -std::numeric_limits<float>::infinity();
+  result.runner_up = -std::numeric_limits<float>::infinity();
+  const ChipTable& table = ChipTable::instance();
+  for (std::uint8_t s = 0; s < kNumSymbols; ++s) {
+    const ChipSequence& row = table.sequence(s);
+    float corr = 0.0F;
+    for (std::size_t c = 0; c < kChipsPerSymbol; ++c) corr += descrambled[c] * row[c];
+    if (corr > result.correlation) {
+      result.runner_up = result.correlation;
+      result.correlation = corr;
+      result.symbol = s;
+    } else if (corr > result.runner_up) {
+      result.runner_up = corr;
+    }
+  }
+  return result;
+}
+
+DespreadPairsResult Despreader::despread_pairs(dsp::cspan pairs) {
+  if (pairs.size() != kChipsPerSymbol / 2)
+    throw std::invalid_argument("despread_pairs: need exactly 16 chip pairs");
+
+  // Fold the scrambler into the reference rather than "descrambling" the
+  // received rails: a carrier rotation mixes the I and Q rails, so
+  // rail-wise multiplication of the *received* pair by the scrambler
+  // chips would randomise the cross-rail terms and bias the measured
+  // phase. Correlating against the scrambled reference keeps the
+  // correlation exactly 32 * e^{j phi} for the true symbol.
+  std::array<float, kChipsPerSymbol / 2> se;
+  std::array<float, kChipsPerSymbol / 2> so;
+  double max_corr = 0.0;
+  for (std::size_t m = 0; m < pairs.size(); ++m) {
+    se[m] = scrambling_ ? pn_.next_chip() : 1.0F;
+    so[m] = scrambling_ ? pn_.next_chip() : 1.0F;
+    max_corr += std::abs(pairs[m]) * std::numbers::sqrt2_v<float>;
+  }
+
+  DespreadPairsResult result;
+  float best = -std::numeric_limits<float>::infinity();
+  const ChipTable& table = ChipTable::instance();
+  for (std::uint8_t s = 0; s < kNumSymbols; ++s) {
+    const ChipSequence& row = table.sequence(s);
+    dsp::cf corr{0.0F, 0.0F};
+    for (std::size_t m = 0; m < pairs.size(); ++m) {
+      // conj(se*A + j so*B) applied to the received pair.
+      const dsp::cf ref{se[m] * row[2 * m], -so[m] * row[2 * m + 1]};
+      corr += pairs[m] * ref;
+    }
+    if (corr.real() > best) {
+      best = corr.real();
+      result.symbol = s;
+      result.correlation = corr;
+    }
+  }
+  if (max_corr > 0.0) {
+    result.coherence = static_cast<float>(std::abs(result.correlation) / max_corr);
+  }
+  return result;
+}
+
+std::vector<std::uint8_t> bytes_to_symbols(std::span<const std::uint8_t> bytes) {
+  std::vector<std::uint8_t> symbols;
+  symbols.reserve(bytes.size() * 2);
+  for (std::uint8_t b : bytes) {
+    symbols.push_back(static_cast<std::uint8_t>(b & 0x0FU));
+    symbols.push_back(static_cast<std::uint8_t>((b >> 4) & 0x0FU));
+  }
+  return symbols;
+}
+
+std::vector<std::uint8_t> symbols_to_bytes(std::span<const std::uint8_t> symbols) {
+  if (symbols.size() % 2 != 0)
+    throw std::invalid_argument("symbols_to_bytes: need an even number of symbols");
+  std::vector<std::uint8_t> bytes;
+  bytes.reserve(symbols.size() / 2);
+  for (std::size_t i = 0; i + 1 < symbols.size(); i += 2) {
+    bytes.push_back(static_cast<std::uint8_t>((symbols[i] & 0x0FU) |
+                                              ((symbols[i + 1] & 0x0FU) << 4)));
+  }
+  return bytes;
+}
+
+}  // namespace bhss::phy

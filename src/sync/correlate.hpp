@@ -1,0 +1,27 @@
+#pragma once
+
+/// @file correlate.hpp
+/// Sliding cross-correlation primitives used by frame synchronization.
+
+#include "dsp/types.hpp"
+
+namespace bhss::sync {
+
+/// Result of a sliding correlation search.
+struct CorrelationPeak {
+  std::size_t offset = 0;       ///< lag with the largest normalised magnitude
+  dsp::cf value{0.0F, 0.0F};    ///< complex correlation at the peak
+  float normalized = 0.0F;      ///< |value| / (||ref|| * ||window||), in [0, 1]
+};
+
+/// Complex cross-correlation of `x` against `ref` at a single lag:
+///   c(lag) = sum_k x[lag + k] * conj(ref[k]).
+/// Requires lag + ref.size() <= x.size().
+[[nodiscard]] dsp::cf correlate_at(dsp::cspan x, dsp::cspan ref, std::size_t lag);
+
+/// Search lags [0, max_lag] for the strongest normalised correlation of
+/// `ref` inside `x`. `max_lag` is clamped so the reference always fits.
+[[nodiscard]] CorrelationPeak correlate_search(dsp::cspan x, dsp::cspan ref,
+                                               std::size_t max_lag);
+
+}  // namespace bhss::sync

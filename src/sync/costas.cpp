@@ -1,0 +1,62 @@
+#include "sync/costas.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace bhss::sync {
+namespace {
+
+float wrap_phase(float phi) noexcept {
+  constexpr float two_pi = 2.0F * std::numbers::pi_v<float>;
+  while (phi > std::numbers::pi_v<float>) phi -= two_pi;
+  while (phi < -std::numbers::pi_v<float>) phi += two_pi;
+  return phi;
+}
+
+}  // namespace
+
+CostasLoop::CostasLoop(float loop_bandwidth, float damping, float max_freq)
+    : max_freq_(max_freq) {
+  // Standard 2nd-order loop gain mapping (Rice, "Digital Communications").
+  const float denom = 1.0F + 2.0F * damping * loop_bandwidth + loop_bandwidth * loop_bandwidth;
+  alpha_ = (4.0F * damping * loop_bandwidth) / denom;
+  beta_ = (4.0F * loop_bandwidth * loop_bandwidth) / denom;
+}
+
+dsp::cf CostasLoop::process(dsp::cf in) noexcept {
+  const dsp::cf nco{std::cos(-phase_), std::sin(-phase_)};
+  const dsp::cf out = in * nco;
+
+  // Decision-directed QPSK phase error, normalised by signal power to make
+  // the loop gain amplitude-independent, then weighted by the instantaneous
+  // amplitude relative to the running RMS: samples near the half-sine pulse
+  // nulls carry no phase information, only noise, and must not drive the
+  // loop at full gain.
+  const float i = out.real();
+  const float q = out.imag();
+  const float power = i * i + q * q;
+  avg_power_ += 0.01F * (power - avg_power_);
+  float error = 0.0F;
+  if (power > 1e-12F && avg_power_ > 1e-12F) {
+    error = ((i >= 0.0F ? q : -q) - (q >= 0.0F ? i : -i)) / std::sqrt(power);
+    const float weight = std::min(1.0F, power / avg_power_);
+    error *= weight;
+  }
+
+  freq_ = std::clamp(freq_ + beta_ * error, -max_freq_, max_freq_);
+  phase_ = wrap_phase(phase_ + freq_ + alpha_ * error);
+  return out;
+}
+
+void CostasLoop::process(dsp::cspan_mut x) noexcept {
+  for (dsp::cf& s : x) s = process(s);
+}
+
+void CostasLoop::reset() noexcept {
+  phase_ = 0.0F;
+  freq_ = 0.0F;
+  avg_power_ = 0.0F;
+}
+
+}  // namespace bhss::sync

@@ -1,0 +1,43 @@
+#pragma once
+
+/// @file costas.hpp
+/// Second-order Costas loop for QPSK, as used by the paper's receiver
+/// ([22]) to track residual carrier phase and frequency after the
+/// interference-suppression filter. The loop error is the classic
+/// decision-directed QPSK detector e = sgn(I)*Q - sgn(Q)*I.
+
+#include "dsp/types.hpp"
+
+namespace bhss::sync {
+
+/// Streaming QPSK Costas loop.
+class CostasLoop {
+ public:
+  /// @param loop_bandwidth  normalised loop bandwidth (rad/sample),
+  ///                        typical 0.005..0.05.
+  /// @param damping         loop damping factor, typical 0.707.
+  /// @param max_freq        clamp for the frequency integrator [rad/sample].
+  explicit CostasLoop(float loop_bandwidth, float damping = 0.7071F,
+                      float max_freq = 0.5F);
+
+  /// Rotate one sample by the current NCO phase and update the loop.
+  [[nodiscard]] dsp::cf process(dsp::cf in) noexcept;
+
+  /// Process a block in place.
+  void process(dsp::cspan_mut x) noexcept;
+
+  [[nodiscard]] float phase() const noexcept { return phase_; }
+  [[nodiscard]] float frequency() const noexcept { return freq_; }
+
+  void reset() noexcept;
+
+ private:
+  float alpha_;  ///< proportional gain
+  float beta_;   ///< integral gain
+  float max_freq_;
+  float phase_ = 0.0F;
+  float freq_ = 0.0F;
+  float avg_power_ = 0.0F;  ///< running mean input power (error weighting)
+};
+
+}  // namespace bhss::sync

@@ -1,0 +1,85 @@
+#include "sync/gardner.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace bhss::sync {
+
+GardnerTimingRecovery::GardnerTimingRecovery(double samples_per_symbol, float loop_bandwidth,
+                                             float damping)
+    : nominal_period_(samples_per_symbol), period_(samples_per_symbol) {
+  if (samples_per_symbol < 2.0)
+    throw std::invalid_argument("GardnerTimingRecovery: need >= 2 samples/symbol");
+  const float bw = loop_bandwidth;
+  const float denom = 1.0F + 2.0F * damping * bw + bw * bw;
+  alpha_ = (4.0F * damping * bw) / denom;
+  beta_ = (4.0F * bw * bw) / denom;
+  next_sample_ = samples_per_symbol;  // leave room for the mid-point lookback
+}
+
+dsp::cf GardnerTimingRecovery::interpolate(double index) const noexcept {
+  // Cubic Lagrange interpolation over the 4 samples surrounding `index`.
+  const auto i1 = static_cast<std::size_t>(index);  // floor; index >= 1 guaranteed
+  const double mu = index - static_cast<double>(i1);
+  const std::size_t i0 = i1 - 1;
+  const dsp::cf x0 = buffer_[i0];
+  const dsp::cf x1 = buffer_[i0 + 1];
+  const dsp::cf x2 = buffer_[i0 + 2];
+  const dsp::cf x3 = buffer_[i0 + 3];
+  const auto m = static_cast<float>(mu);
+  // Farrow-form cubic coefficients.
+  const dsp::cf c0 = x1;
+  const dsp::cf c1 = 0.5F * (x2 - x0);
+  const dsp::cf c2 = x0 - 2.5F * x1 + 2.0F * x2 - 0.5F * x3;
+  const dsp::cf c3 = 0.5F * (x3 - x0) + 1.5F * (x1 - x2);
+  return ((c3 * m + c2) * m + c1) * m + c0;
+}
+
+void GardnerTimingRecovery::process(dsp::cspan in, dsp::cvec& out) {
+  buffer_.insert(buffer_.end(), in.begin(), in.end());
+
+  // We can emit a symbol when its interpolation neighbourhood (index+2) and
+  // its mid-point lookback are inside the buffer.
+  while (next_sample_ + 2.0 < static_cast<double>(buffer_.size()) &&
+         next_sample_ >= period_ / 2.0 + 1.0) {
+    const dsp::cf symbol = interpolate(next_sample_);
+    const dsp::cf midpoint = interpolate(next_sample_ - period_ / 2.0);
+
+    // Gardner TED, sign chosen so that positive error means "sampling
+    // early -> advance": e = Re{ (y_{k-1} - y_k) * conj(y_mid) }.
+    const dsp::cf diff = last_symbol_ - symbol;
+    float error = (diff * std::conj(midpoint)).real();
+    const float scale = std::norm(symbol) + std::norm(last_symbol_);
+    if (scale > 1e-12F) error /= scale;
+    error = std::clamp(error, -1.0F, 1.0F);
+
+    period_ = std::clamp(period_ + static_cast<double>(beta_) * error,
+                         nominal_period_ * 0.9, nominal_period_ * 1.1);
+    mu_ = static_cast<double>(alpha_) * error;
+    next_sample_ += period_ + mu_;
+
+    last_midpoint_ = midpoint;
+    last_symbol_ = symbol;
+    out.push_back(symbol);
+  }
+
+  // Trim consumed history, keeping enough lookback for the next mid-point.
+  const double keep_from = next_sample_ - period_ - 4.0;
+  if (keep_from > 1024.0) {
+    const auto drop = static_cast<std::size_t>(keep_from);
+    buffer_.erase(buffer_.begin(), buffer_.begin() + static_cast<std::ptrdiff_t>(drop));
+    next_sample_ -= static_cast<double>(drop);
+  }
+}
+
+void GardnerTimingRecovery::reset() noexcept {
+  buffer_.clear();
+  next_sample_ = nominal_period_;
+  mu_ = 0.0;
+  period_ = nominal_period_;
+  last_symbol_ = dsp::cf{0.0F, 0.0F};
+  last_midpoint_ = dsp::cf{0.0F, 0.0F};
+}
+
+}  // namespace bhss::sync

@@ -1,0 +1,49 @@
+#pragma once
+
+/// @file gardner.hpp
+/// Gardner timing-error recovery ([23] in the paper): a non-data-aided
+/// symbol synchroniser that works at two or more samples per symbol.
+/// Implemented as a second-order loop driving a cubic (Farrow)
+/// interpolator over the input stream.
+
+#include "dsp/types.hpp"
+
+namespace bhss::sync {
+
+/// Streaming Gardner timing recovery.
+class GardnerTimingRecovery {
+ public:
+  /// @param samples_per_symbol  nominal oversampling (>= 2)
+  /// @param loop_bandwidth      normalised loop bandwidth, typ. 0.01
+  /// @param damping             loop damping, typ. 0.707
+  explicit GardnerTimingRecovery(double samples_per_symbol, float loop_bandwidth = 0.01F,
+                                 float damping = 0.7071F);
+
+  /// Consume a block of input samples; append recovered symbol-spaced
+  /// samples to `out`. State persists across calls.
+  void process(dsp::cspan in, dsp::cvec& out);
+
+  /// Current fractional timing estimate in samples (for tests).
+  [[nodiscard]] double timing_offset() const noexcept { return mu_; }
+
+  /// Current estimate of samples per symbol (nominal + loop correction).
+  [[nodiscard]] double period() const noexcept { return period_; }
+
+  void reset() noexcept;
+
+ private:
+  [[nodiscard]] dsp::cf interpolate(double index) const noexcept;
+
+  double nominal_period_;
+  float alpha_;
+  float beta_;
+
+  dsp::cvec buffer_;       ///< sliding history of input samples
+  double next_sample_ = 0; ///< fractional index of next symbol sample
+  double mu_ = 0.0;
+  double period_;
+  dsp::cf last_symbol_{0.0F, 0.0F};
+  dsp::cf last_midpoint_{0.0F, 0.0F};
+};
+
+}  // namespace bhss::sync

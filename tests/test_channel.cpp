@@ -1,0 +1,163 @@
+// Unit tests for the channel simulator: noise statistics, impairments and
+// end-to-end power calibration of transmit().
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "channel/awgn.hpp"
+#include "channel/impairments.hpp"
+#include "channel/link_channel.hpp"
+#include "dsp/utils.hpp"
+
+namespace bhss::channel {
+namespace {
+
+TEST(Awgn, PowerCalibration) {
+  AwgnSource noise(1);
+  for (double power : {0.01, 1.0, 25.0}) {
+    const dsp::cvec x = noise.generate(1 << 16, power);
+    EXPECT_NEAR(dsp::mean_power(x), power, power * 0.05) << "power " << power;
+  }
+}
+
+TEST(Awgn, CircularSymmetry) {
+  AwgnSource noise(2);
+  const dsp::cvec x = noise.generate(1 << 16, 2.0);
+  double i_power = 0.0;
+  double q_power = 0.0;
+  double cross = 0.0;
+  for (const dsp::cf& s : x) {
+    i_power += static_cast<double>(s.real()) * s.real();
+    q_power += static_cast<double>(s.imag()) * s.imag();
+    cross += static_cast<double>(s.real()) * s.imag();
+  }
+  const auto n = static_cast<double>(x.size());
+  EXPECT_NEAR(i_power / n, 1.0, 0.05);
+  EXPECT_NEAR(q_power / n, 1.0, 0.05);
+  EXPECT_NEAR(cross / n, 0.0, 0.05);
+}
+
+TEST(Awgn, Deterministic) {
+  AwgnSource a(42);
+  AwgnSource b(42);
+  const dsp::cvec xa = a.generate(64, 1.0);
+  const dsp::cvec xb = b.generate(64, 1.0);
+  EXPECT_EQ(xa, xb);
+}
+
+TEST(Awgn, AddToSuperimposes) {
+  AwgnSource noise(3);
+  dsp::cvec x(1 << 14, dsp::cf{1.0F, 0.0F});
+  noise.add_to(dsp::cspan_mut{x}, 0.5);
+  EXPECT_NEAR(dsp::mean_power(x), 1.5, 0.05);
+}
+
+TEST(Impairments, PhaseRotation) {
+  dsp::cvec x = {dsp::cf{1.0F, 0.0F}};
+  apply_phase(dsp::cspan_mut{x}, std::numbers::pi_v<float> / 2.0F);
+  EXPECT_NEAR(x[0].real(), 0.0F, 1e-6F);
+  EXPECT_NEAR(x[0].imag(), 1.0F, 1e-6F);
+}
+
+TEST(Impairments, CfoAccumulatesLinearly) {
+  const float cfo = 1e-3F;
+  dsp::cvec x(10000, dsp::cf{1.0F, 0.0F});
+  apply_cfo(dsp::cspan_mut{x}, cfo);
+  for (std::size_t n : {0UL, 100UL, 5000UL, 9999UL}) {
+    EXPECT_NEAR(std::arg(x[n]),
+                std::remainder(cfo * static_cast<float>(n), 2.0F * std::numbers::pi_v<float>),
+                2e-3F)
+        << "n=" << n;
+    EXPECT_NEAR(std::abs(x[n]), 1.0F, 1e-3F) << "n=" << n;  // renormalisation works
+  }
+}
+
+TEST(Impairments, IntegerDelay) {
+  const dsp::cvec x = {dsp::cf{1.0F, 1.0F}, dsp::cf{2.0F, 0.0F}};
+  const dsp::cvec y = apply_delay(x, 3, 8);
+  ASSERT_EQ(y.size(), 8U);
+  EXPECT_EQ(y[0], (dsp::cf{0.0F, 0.0F}));
+  EXPECT_EQ(y[3], x[0]);
+  EXPECT_EQ(y[4], x[1]);
+  EXPECT_EQ(y[7], (dsp::cf{0.0F, 0.0F}));
+}
+
+TEST(Impairments, DelayClipsAtTotalLen) {
+  const dsp::cvec x(10, dsp::cf{1.0F, 0.0F});
+  const dsp::cvec y = apply_delay(x, 5, 8);
+  ASSERT_EQ(y.size(), 8U);
+  EXPECT_EQ(y[7], (dsp::cf{1.0F, 0.0F}));
+}
+
+TEST(Impairments, FractionalDelayInterpolates) {
+  const dsp::cvec x = {dsp::cf{1.0F, 0.0F}, dsp::cf{0.0F, 0.0F}};
+  const dsp::cvec y = apply_fractional_delay(x, 0.25);
+  ASSERT_EQ(y.size(), 3U);
+  EXPECT_NEAR(y[0].real(), 0.75F, 1e-6F);
+  EXPECT_NEAR(y[1].real(), 0.25F, 1e-6F);
+  EXPECT_THROW((void)apply_fractional_delay(x, 1.0), std::invalid_argument);
+}
+
+TEST(LinkChannel, SnrCalibration) {
+  // A constant-envelope "signal" through the channel: measured SNR at the
+  // output must match the configuration.
+  dsp::cvec tx(1 << 15);
+  for (std::size_t i = 0; i < tx.size(); ++i) {
+    const float ang = 0.3F * static_cast<float>(i);
+    tx[i] = dsp::cf{std::cos(ang), std::sin(ang)};
+  }
+  AwgnSource noise(5);
+  LinkConfig cfg;
+  cfg.snr_db = 13.0;
+  const dsp::cvec rx = channel::transmit(tx, {}, cfg, noise);
+  ASSERT_EQ(rx.size(), tx.size());
+  // Total power = signal + unit noise.
+  EXPECT_NEAR(dsp::mean_power(rx), dsp::db_to_linear(13.0) + 1.0,
+              0.05 * (dsp::db_to_linear(13.0) + 1.0));
+}
+
+TEST(LinkChannel, JammerPowerCalibration) {
+  dsp::cvec tx(1 << 14, dsp::cf{1.0F, 0.0F});
+  AwgnSource noise(6);
+  AwgnSource jam_src(7);
+  const dsp::cvec jam = jam_src.generate(1 << 14, 3.0);  // arbitrary input power
+  LinkConfig cfg;
+  cfg.snr_db = -300.0;  // signal off
+  cfg.jnr_db = 17.0;
+  const dsp::cvec rx = channel::transmit(tx, jam, cfg, noise);
+  EXPECT_NEAR(dsp::mean_power(rx), dsp::db_to_linear(17.0) + 1.0,
+              0.05 * dsp::db_to_linear(17.0));
+}
+
+TEST(LinkChannel, DelayAndTailPad) {
+  dsp::cvec tx(100, dsp::cf{1.0F, 0.0F});
+  AwgnSource noise(8);
+  LinkConfig cfg;
+  cfg.snr_db = 40.0;
+  cfg.tx_delay = 20;
+  cfg.tail_pad = 30;
+  const dsp::cvec rx = channel::transmit(tx, {}, cfg, noise);
+  ASSERT_EQ(rx.size(), 150U);
+  // Signal region is much louder than the leading noise-only region.
+  EXPECT_GT(dsp::mean_power(dsp::cspan{rx}.subspan(20, 100)),
+            100.0 * dsp::mean_power(dsp::cspan{rx}.first(20)));
+}
+
+TEST(LinkChannel, NoJammerSpanIgnored) {
+  dsp::cvec tx(64, dsp::cf{1.0F, 0.0F});
+  AwgnSource noise(9);
+  LinkConfig cfg;
+  cfg.snr_db = 10.0;  // jnr_db unset
+  AwgnSource jam_src(10);
+  const dsp::cvec jam = jam_src.generate(64, 1.0);
+  const dsp::cvec with_spec = channel::transmit(tx, jam, cfg, noise);
+  // jam provided but jnr_db not set: jammer must not be mixed in.
+  AwgnSource noise2(9);
+  const dsp::cvec without = channel::transmit(tx, {}, cfg, noise2);
+  EXPECT_EQ(with_spec, without);
+}
+
+}  // namespace
+}  // namespace bhss::channel

@@ -1,0 +1,58 @@
+// Unit tests for the BandwidthSet: the paper's seven-bandwidth plan.
+
+#include <gtest/gtest.h>
+
+#include "core/bandwidth_set.hpp"
+
+namespace bhss::core {
+namespace {
+
+TEST(BandwidthSet, PaperConfiguration) {
+  const BandwidthSet b = BandwidthSet::paper();
+  ASSERT_EQ(b.size(), 7U);
+  EXPECT_DOUBLE_EQ(b.sample_rate_hz(), 20e6);
+  // §6.2: "we hop between a set of seven pre-defined bandwidths: 10, 5,
+  // 2.5, 1.25, 0.625, 0.312, and 0.156 MHz".
+  const double expected[] = {10e6, 5e6, 2.5e6, 1.25e6, 0.625e6, 0.3125e6, 0.15625e6};
+  for (std::size_t i = 0; i < 7; ++i) {
+    EXPECT_DOUBLE_EQ(b.bandwidth_hz(i), expected[i]) << "level " << i;
+  }
+  // "The bandwidth hopping range is therefore 64."
+  EXPECT_DOUBLE_EQ(b.hopping_range(), 64.0);
+}
+
+TEST(BandwidthSet, FracIsInverseSps) {
+  const BandwidthSet b = BandwidthSet::paper();
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    EXPECT_DOUBLE_EQ(b.bandwidth_frac(i), 1.0 / static_cast<double>(b.sps(i)));
+    EXPECT_DOUBLE_EQ(b.bandwidth_frac(i) * b.sample_rate_hz(), b.bandwidth_hz(i));
+  }
+}
+
+TEST(BandwidthSet, OrderingConventions) {
+  const BandwidthSet b = BandwidthSet::paper();
+  EXPECT_EQ(b.widest_index(), 0U);
+  EXPECT_EQ(b.narrowest_index(), 6U);
+  EXPECT_GT(b.bandwidth_hz(b.widest_index()), b.bandwidth_hz(b.narrowest_index()));
+}
+
+TEST(BandwidthSet, BandwidthFracsVector) {
+  const BandwidthSet b = BandwidthSet::small();
+  const std::vector<double> fracs = b.bandwidth_fracs();
+  ASSERT_EQ(fracs.size(), 4U);
+  EXPECT_DOUBLE_EQ(fracs[0], 0.5);
+  EXPECT_DOUBLE_EQ(fracs[3], 1.0 / 16.0);
+}
+
+TEST(BandwidthSet, Validation) {
+  EXPECT_THROW(BandwidthSet(0.0, {2, 4}), std::invalid_argument);
+  EXPECT_THROW(BandwidthSet(1e6, {}), std::invalid_argument);
+  EXPECT_THROW(BandwidthSet(1e6, {3}), std::invalid_argument);        // odd sps
+  EXPECT_THROW(BandwidthSet(1e6, {0}), std::invalid_argument);
+  EXPECT_THROW(BandwidthSet(1e6, {4, 2}), std::invalid_argument);     // not ascending
+  EXPECT_THROW(BandwidthSet(1e6, {2, 2}), std::invalid_argument);     // duplicate
+  EXPECT_THROW((void)BandwidthSet::paper().sps(7), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace bhss::core

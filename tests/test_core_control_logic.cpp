@@ -1,0 +1,155 @@
+// Unit tests for the §4.2 control logic: jammer estimation and filter
+// selection across the jammer/signal bandwidth grid.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "channel/awgn.hpp"
+#include "core/control_logic.hpp"
+#include "core/transmitter.hpp"
+#include "dsp/utils.hpp"
+#include "jammer/noise_jammer.hpp"
+
+namespace bhss::core {
+namespace {
+
+/// A received-slice builder: clean BHSS waveform at one bandwidth level,
+/// plus optional jammer and noise at configurable powers.
+dsp::cvec make_slice(const BandwidthSet& bands, std::size_t level, double snr_db,
+                     double jnr_db, double jam_bw, std::uint64_t seed) {
+  SystemConfig sys;
+  sys.pattern = HopPattern::fixed(bands, level);
+  sys.hopping = false;
+  sys.fixed_bw_index = level;
+  const BhssTransmitter tx(sys);
+  const std::vector<std::uint8_t> payload(16, 0x5A);
+  dsp::cvec wave = tx.transmit(payload, seed).samples;
+  dsp::scale_to_power(dsp::cspan_mut{wave}, dsp::db_to_linear(snr_db));
+  if (jnr_db > -100.0) {
+    jammer::NoiseJammer jam(jam_bw, seed + 1);
+    const dsp::cvec j = jam.generate(wave.size());
+    const auto g = static_cast<float>(std::sqrt(dsp::db_to_linear(jnr_db)));
+    for (std::size_t i = 0; i < wave.size(); ++i) wave[i] += g * j[i];
+  }
+  channel::AwgnSource noise(seed + 2);
+  noise.add_to(dsp::cspan_mut{wave}, 1.0);
+  return wave;
+}
+
+class CleanSignalSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CleanSignalSweep, NoJammerMeansNoFilter) {
+  const BandwidthSet bands = BandwidthSet::paper();
+  const ControlLogic logic({}, bands);
+  const dsp::cvec slice = make_slice(bands, GetParam(), 15.0, -300.0, 1.0, 10);
+  const FilterDecision d = logic.decide(slice, GetParam());
+  EXPECT_EQ(d.kind, FilterDecision::Kind::none) << "level " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Levels, CleanSignalSweep, ::testing::Range<std::size_t>(0, 7));
+
+TEST(ControlLogic, NarrowbandJammerTriggersExcision) {
+  const BandwidthSet bands = BandwidthSet::paper();
+  const ControlLogic logic({}, bands);
+  // Signal at 10 MHz (level 0, frac 0.5); jammer at 1/32 of Rs — well
+  // inside the signal band.
+  const dsp::cvec slice = make_slice(bands, 0, 15.0, 25.0, 1.0 / 32.0, 20);
+  const FilterDecision d = logic.decide(slice, 0);
+  EXPECT_EQ(d.kind, FilterDecision::Kind::excision);
+  EXPECT_FALSE(d.taps.empty());
+  EXPECT_EQ(d.group_delay, d.taps.size() / 2);
+  EXPECT_GT(d.inband_peak_over_median_db, 7.0);
+}
+
+TEST(ControlLogic, WidebandJammerTriggersLowpass) {
+  const BandwidthSet bands = BandwidthSet::paper();
+  const ControlLogic logic({}, bands);
+  // Signal at 2.5 MHz (level 2, frac 1/8); jammer at half the sampling
+  // rate — four times wider.
+  const dsp::cvec slice = make_slice(bands, 2, 15.0, 25.0, 0.5, 30);
+  const FilterDecision d = logic.decide(slice, 2);
+  EXPECT_EQ(d.kind, FilterDecision::Kind::lowpass);
+  EXPECT_FALSE(d.taps.empty());
+}
+
+TEST(ControlLogic, MatchedJammerMeansNoFilter) {
+  // Eq. (10): when Bj ~ Bp no filter can help; the logic must not excise.
+  const BandwidthSet bands = BandwidthSet::paper();
+  const ControlLogic logic({}, bands);
+  const dsp::cvec slice = make_slice(bands, 2, 15.0, 25.0, bands.bandwidth_frac(2), 40);
+  const FilterDecision d = logic.decide(slice, 2);
+  EXPECT_NE(d.kind, FilterDecision::Kind::excision);
+}
+
+TEST(ControlLogic, WeakJammerLeftToDespreadingGain) {
+  // §4.2: "the power of the jammer is in the same order of magnitude as
+  // the signal: pre-filtering is not needed".
+  const BandwidthSet bands = BandwidthSet::paper();
+  const ControlLogic logic({}, bands);
+  const dsp::cvec slice = make_slice(bands, 0, 20.0, 2.0, 1.0 / 32.0, 50);
+  const FilterDecision d = logic.decide(slice, 0);
+  EXPECT_EQ(d.kind, FilterDecision::Kind::none);
+}
+
+TEST(ControlLogic, ForcedPathsAlwaysProduceTaps) {
+  const BandwidthSet bands = BandwidthSet::paper();
+  const ControlLogic logic({}, bands);
+  const dsp::cvec slice = make_slice(bands, 1, 10.0, -300.0, 1.0, 60);
+  const FilterDecision lp = logic.force_lowpass(1);
+  EXPECT_EQ(lp.kind, FilterDecision::Kind::lowpass);
+  EXPECT_FALSE(lp.taps.empty());
+  const FilterDecision ex = logic.force_excision(slice, 1);
+  EXPECT_EQ(ex.kind, FilterDecision::Kind::excision);
+  EXPECT_EQ(ex.taps.size(), logic.config().psd_fft);
+}
+
+TEST(ControlLogic, LowpassBankCutoffTracksBandwidth) {
+  const BandwidthSet bands = BandwidthSet::paper();
+  const ControlLogic logic({}, bands);
+  for (std::size_t i = 0; i < bands.size(); ++i) {
+    EXPECT_NEAR(logic.lpf_cutoff_frac(i),
+                logic.config().lpf_cutoff_factor * bands.bandwidth_frac(i), 1e-12);
+  }
+}
+
+TEST(ControlLogic, EstimatorAblationStillDetects) {
+  // Bartlett and single-periodogram estimators must reach the same
+  // decision on a strong narrow-band jammer (they are noisier, not blind).
+  const BandwidthSet bands = BandwidthSet::paper();
+  for (PsdMethod method : {PsdMethod::welch, PsdMethod::bartlett, PsdMethod::periodogram}) {
+    ControlLogicConfig cfg;
+    cfg.psd_method = method;
+    const ControlLogic logic(cfg, bands);
+    const dsp::cvec slice = make_slice(bands, 0, 15.0, 30.0, 1.0 / 64.0, 70);
+    const FilterDecision d = logic.decide(slice, 0);
+    EXPECT_EQ(d.kind, FilterDecision::Kind::excision)
+        << "method " << static_cast<int>(method);
+  }
+}
+
+TEST(ControlLogic, RejectsBadPsdSize) {
+  ControlLogicConfig cfg;
+  cfg.psd_fft = 100;
+  EXPECT_THROW(ControlLogic(cfg, BandwidthSet::paper()), std::invalid_argument);
+}
+
+TEST(MskPsdShape, UnitAtDcAndDecaying) {
+  EXPECT_NEAR(msk_psd_shape(0.0, 8.0), 1.0, 1e-12);
+  // Monotone decreasing over the main lobe.
+  double prev = 1.0;
+  for (double f = 0.0; f < 0.7 / 8.0; f += 0.01 / 8.0) {
+    const double v = msk_psd_shape(f, 8.0);
+    EXPECT_LE(v, prev + 1e-9);
+    prev = v;
+  }
+  // Null at f = 0.75 / (2 sps)... the half-sine null: u = f*sps = 0.75.
+  EXPECT_NEAR(msk_psd_shape(0.75 / 8.0, 8.0), 0.0, 1e-6);
+  // Continuous through the |u| = 1/4 removable singularity.
+  const double eps = 1e-6;
+  EXPECT_NEAR(msk_psd_shape(0.25 / 8.0 - eps, 8.0), msk_psd_shape(0.25 / 8.0 + eps, 8.0),
+              1e-3);
+}
+
+}  // namespace
+}  // namespace bhss::core

@@ -1,0 +1,96 @@
+// Unit tests for the shared random source: the transmitter/receiver
+// lock-step property everything else depends on.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/shared_random.hpp"
+
+namespace bhss::core {
+namespace {
+
+TEST(SharedRandom, SameSeedSameStream) {
+  SharedRandom a(123);
+  SharedRandom b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(SharedRandom, DifferentSeedsDiverge) {
+  SharedRandom a(1);
+  SharedRandom b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(SharedRandom, NearbySeedsUncorrelated) {
+  // splitmix64 seeding: seed and seed+1 give unrelated bit streams.
+  SharedRandom a(1000);
+  SharedRandom b(1001);
+  int matching_bits = 0;
+  for (int i = 0; i < 64; ++i) {
+    matching_bits += __builtin_popcountll(~(a.next_u64() ^ b.next_u64()));
+  }
+  EXPECT_NEAR(matching_bits, 64 * 32, 400);
+}
+
+TEST(SharedRandom, UniformInRange) {
+  SharedRandom rng(7);
+  double mean = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    mean += u;
+  }
+  EXPECT_NEAR(mean / 10000.0, 0.5, 0.02);
+}
+
+TEST(SharedRandom, UniformIndexCoversRange) {
+  SharedRandom rng(8);
+  std::vector<int> counts(7, 0);
+  for (int i = 0; i < 7000; ++i) ++counts[rng.uniform_index(7)];
+  for (int c : counts) EXPECT_NEAR(c, 1000, 150);
+  EXPECT_EQ(rng.uniform_index(0), 0U);
+}
+
+TEST(SharedRandom, PickFollowsWeights) {
+  SharedRandom rng(9);
+  const std::vector<double> weights = {1.0, 3.0, 6.0};
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 20000; ++i) ++counts[rng.pick(weights)];
+  EXPECT_NEAR(counts[0] / 20000.0, 0.1, 0.02);
+  EXPECT_NEAR(counts[1] / 20000.0, 0.3, 0.02);
+  EXPECT_NEAR(counts[2] / 20000.0, 0.6, 0.02);
+}
+
+TEST(SharedRandom, PickDegenerateInputs) {
+  SharedRandom rng(10);
+  EXPECT_EQ(rng.pick({}), 0U);
+  const std::vector<double> zeros = {0.0, 0.0};
+  EXPECT_EQ(rng.pick(zeros), 0U);
+  const std::vector<double> one = {0.0, 5.0, 0.0};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.pick(one), 1U);
+}
+
+TEST(SharedRandom, ScramblerSeedNonZero) {
+  for (std::uint64_t seed = 0; seed < 200; ++seed) {
+    SharedRandom rng(seed);
+    EXPECT_NE(rng.derive_scrambler_seed(), 0U) << "seed " << seed;
+  }
+}
+
+TEST(SharedRandom, ForFrameIsDeterministicAndFrameDependent) {
+  SharedRandom a = SharedRandom::for_frame(555, 3);
+  SharedRandom b = SharedRandom::for_frame(555, 3);
+  SharedRandom c = SharedRandom::for_frame(555, 4);
+  const std::uint64_t va = a.next_u64();
+  EXPECT_EQ(va, b.next_u64());
+  EXPECT_NE(va, c.next_u64());
+}
+
+}  // namespace
+}  // namespace bhss::core

@@ -1,0 +1,252 @@
+// Unit tests for the analytical model (§5, appendix): eqs. (6)-(12) and
+// (16)-(18), including the paper's headline anchor values.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/theory.hpp"
+#include "dsp/autocorr.hpp"
+#include "dsp/fir.hpp"
+#include "dsp/utils.hpp"
+
+namespace bhss::core::theory {
+namespace {
+
+TEST(OutputSnr, UnfilteredEq7) {
+  // SNR = L / (rho + sigma^2).
+  EXPECT_DOUBLE_EQ(output_snr_unfiltered(100.0, 99.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(output_snr_unfiltered(100.0, 0.0, 0.01), 10000.0);
+  EXPECT_THROW((void)output_snr_unfiltered(0.0, 1.0, 1.0), std::invalid_argument);
+}
+
+TEST(OutputSnr, IdentityFilterMatchesUnfiltered) {
+  const dsp::cvec taps = {dsp::cf{1.0F, 0.0F}};
+  const dsp::fvec rho = {50.0F};
+  EXPECT_NEAR(output_snr_filtered(100.0, taps, rho, 0.5),
+              output_snr_unfiltered(100.0, 50.0, 0.5), 1e-9);
+}
+
+TEST(SnrImprovement, GammaIndependentOfProcessingGain) {
+  // Eq. (8) discussion: "gamma is independent of L".
+  const dsp::fvec lp = dsp::design_lowpass(33, 0.1);
+  const dsp::cvec taps = dsp::to_complex(lp);
+  const dsp::fvec rho = dsp::bandlimited_noise_autocorr(100.0, 0.8, 64);
+  const double g10 = output_snr_filtered(10.0, taps, rho, 0.01) /
+                     output_snr_unfiltered(10.0, 100.0, 0.01);
+  const double g1000 = output_snr_filtered(1000.0, taps, rho, 0.01) /
+                       output_snr_unfiltered(1000.0, 100.0, 0.01);
+  EXPECT_NEAR(g10, g1000, 1e-9);
+  EXPECT_NEAR(g10, snr_improvement_numeric(taps, rho, 0.01), 1e-9);
+}
+
+TEST(SnrImprovementBound, ContinuousAtMatchedBandwidth) {
+  // Both branches give gamma = 1 when Bp == Bj.
+  EXPECT_DOUBLE_EQ(snr_improvement_bound(1.0, 100.0, 0.01), 1.0);
+  EXPECT_NEAR(snr_improvement_bound(0.999, 100.0, 0.01), 1.0, 0.01);
+  EXPECT_NEAR(snr_improvement_bound(1.001, 100.0, 0.01), 1.0, 0.01);
+}
+
+TEST(SnrImprovementBound, WidebandBranchEq12) {
+  // gamma = (rho + s2) / (r rho + s2), r = Bp/Bj < 1.
+  const double rho = 100.0;
+  const double s2 = 0.01;
+  EXPECT_NEAR(snr_improvement_bound(0.1, rho, s2), (rho + s2) / (0.1 * rho + s2), 1e-12);
+  // Fig. 7: for 0.01 < Bp/Bj < 1 the improvement is nearly independent of
+  // the jammer power and approximately Bj/Bp.
+  EXPECT_NEAR(dsp::linear_to_db(snr_improvement_bound(0.1, 100.0, s2)),
+              dsp::linear_to_db(snr_improvement_bound(0.1, 1000.0, s2)), 1.0);
+  EXPECT_NEAR(dsp::linear_to_db(snr_improvement_bound(0.1, rho, s2)), 10.0, 0.5);
+}
+
+TEST(SnrImprovementBound, NarrowbandBranchEq11) {
+  const double rho = 100.0;
+  const double s2 = 0.01;
+  // r = Bp/Bj = 10: gamma = (rho+s2)(r-1)/(r(1+s2)).
+  const double expected = (rho + s2) * 9.0 / (10.0 * (1.0 + s2));
+  EXPECT_NEAR(snr_improvement_bound(10.0, rho, s2), expected, 1e-9);
+}
+
+TEST(SnrImprovementBound, NarrowbandSaturatesAtJammerPower) {
+  // Fig. 7: "the SNR improvement factor quickly converges to a value that
+  // is close to the power of the jammer".
+  for (double rho_db : {10.0, 20.0, 30.0}) {
+    const double rho = dsp::db_to_linear(rho_db);
+    const double gamma = snr_improvement_bound(100.0, rho, 0.01);
+    EXPECT_NEAR(dsp::linear_to_db(gamma), rho_db, 0.6) << "rho " << rho_db;
+  }
+}
+
+TEST(SnrImprovementBound, NeverBelowOne) {
+  // Eq. (10)/(11): the excision filter is bypassed when it would hurt.
+  for (double r = 1.0; r < 1.05; r += 0.005) {
+    EXPECT_GE(snr_improvement_bound(r, 100.0, 0.01), 1.0) << "r=" << r;
+  }
+  EXPECT_THROW((void)snr_improvement_bound(0.0, 100.0, 0.01), std::invalid_argument);
+}
+
+TEST(NumericGamma, ExcisionApproachesNarrowbandBound) {
+  // Eq. (6) is defined on the chip-rate-sampled model, where the PN
+  // sequence fills the whole band; the case a suppression *filter* can be
+  // tested numerically there is the narrow-band jammer + excision filter
+  // (eq. (11)). (The wide-band case needs oversampling by construction —
+  // a chip-rate low-pass would cut the signal itself.)
+  const double rho = 100.0;
+  const double s2 = 0.01;
+  const double bj = 0.125;  // Bj/Bp = 1/8 of the chip band
+  // Synthetic "measured" PSD: flat signal + narrow-band jammer block.
+  const std::size_t k_taps = 256;
+  dsp::fvec psd(k_taps, 1.0F);
+  const auto edge = static_cast<std::size_t>(bj / 2.0 * k_taps);
+  for (std::size_t k = 0; k <= edge; ++k) {
+    psd[k] += static_cast<float>(rho / bj);
+    psd[k_taps - 1 - k] += static_cast<float>(rho / bj);
+  }
+  const dsp::cvec taps = dsp::design_excision_whitening(psd);
+  const dsp::fvec rho_j = dsp::bandlimited_noise_autocorr(rho, bj, k_taps);
+  const double gamma = snr_improvement_numeric(taps, rho_j, s2);
+  const double bound = snr_improvement_bound(1.0 / bj, rho, s2);
+  // The whitening filter realises a gain of the same order as eq. (11).
+  // Eq. (9)'s normalisation is approximate (it charges the ideal filter's
+  // full pass-band loss against the signal), so a real whitening filter
+  // can land a few dB above it; require agreement within [-50 %, +35 %]
+  // in dB.
+  EXPECT_GT(dsp::linear_to_db(gamma), 0.5 * dsp::linear_to_db(bound));
+  EXPECT_LT(dsp::linear_to_db(gamma), 1.35 * dsp::linear_to_db(bound));
+}
+
+TEST(Ber, Eq16Values) {
+  EXPECT_NEAR(ber_from_snr(0.0), 0.5, 1e-12);
+  // SNR = 2 Eb/N0 convention: Pb = 0.5 erfc(sqrt(Eb/N0)).
+  EXPECT_NEAR(ber_from_snr(2.0), 0.5 * std::erfc(1.0), 1e-12);
+  EXPECT_LT(ber_from_snr(20.0), 1e-5);
+  EXPECT_NEAR(ber_from_snr(-1.0), 0.5, 1e-12);  // clamped
+}
+
+TEST(Ber, MonotoneDecreasingInSnr) {
+  double prev = 1.0;
+  for (double snr = 0.0; snr < 30.0; snr += 0.5) {
+    const double b = ber_from_snr(snr);
+    EXPECT_LE(b, prev);
+    prev = b;
+  }
+}
+
+TEST(PacketError, Eq18) {
+  EXPECT_DOUBLE_EQ(packet_error_rate(0.0, 4000), 0.0);
+  EXPECT_DOUBLE_EQ(packet_error_rate(1.0, 10), 1.0);
+  EXPECT_NEAR(packet_error_rate(0.5, 1), 0.5, 1e-12);
+  EXPECT_NEAR(packet_error_rate(1e-3, 1000), 1.0 - std::pow(1.0 - 1e-3, 1000), 1e-9);
+  // Stable for tiny BER.
+  EXPECT_NEAR(packet_error_rate(1e-12, 4000), 4000e-12, 1e-13);
+  EXPECT_NEAR(normalized_throughput(1e-12, 4000), 1.0, 1e-8);
+}
+
+// ------------------------------------------------------------- BhssModel
+
+BhssModel paper_model() {
+  // Fig. 9 setup: hop range 100, L = 20 dB, SJR = -20 dB per chip.
+  return BhssModel::log_uniform(100.0, 7, 100.0, 100.0);
+}
+
+TEST(BhssModel, LogUniformConstruction) {
+  const BhssModel m = paper_model();
+  ASSERT_EQ(m.hop_bandwidths().size(), 7U);
+  EXPECT_DOUBLE_EQ(m.hop_bandwidths().front(), 1.0);
+  EXPECT_NEAR(m.hop_bandwidths().back(), 0.01, 1e-9);
+  for (double p : m.hop_probs()) EXPECT_NEAR(p, 1.0 / 7.0, 1e-12);
+}
+
+TEST(BhssModel, NoiseMapping) {
+  // sigma^2 = L / (2 Eb/N0): without jamming Pb = 0.5 erfc(sqrt(Eb/N0)).
+  const BhssModel m = paper_model();
+  const double ebno = dsp::db_to_linear(6.0);
+  const double s2 = m.noise_var_for_ebno(ebno);
+  EXPECT_NEAR(ber_from_snr(100.0 / s2), 0.5 * std::erfc(std::sqrt(ebno)), 1e-12);
+}
+
+TEST(BhssModel, Figure9DsssStaysNearHalf) {
+  // "the bit error rate for the DSSS and FHSS receivers remain close to
+  // 0.5 even when Eb/No is as high as 15 dB" (within the plot's log scale:
+  // >= 0.1).
+  const BhssModel m = paper_model();
+  EXPECT_GT(m.ber_dsss(dsp::db_to_linear(15.0)), 0.1);
+}
+
+TEST(BhssModel, Figure9BhssBeatsDsssForEveryJammerBandwidth) {
+  const BhssModel m = paper_model();
+  const double ebno = dsp::db_to_linear(15.0);
+  for (double bj : {1.0, 0.3, 0.1, 0.03, 0.01}) {
+    EXPECT_LT(m.ber_fixed_jammer(bj, ebno), m.ber_dsss(ebno)) << "bj " << bj;
+  }
+  EXPECT_LT(m.ber_random_jammer(ebno), m.ber_dsss(ebno));
+}
+
+TEST(BhssModel, Figure9RandomJammerBetweenExtremes) {
+  // Fig. 9: random jamming is better (for the jammer) than very narrow
+  // fixed bandwidths but worse than the matched-ish wide settings.
+  const BhssModel m = paper_model();
+  const double ebno = dsp::db_to_linear(15.0);
+  const double random = m.ber_random_jammer(ebno);
+  EXPECT_LT(random, m.ber_fixed_jammer(1.0, ebno));
+  EXPECT_GT(random, m.ber_fixed_jammer(0.01, ebno));
+}
+
+TEST(BhssModel, Figure10PeaksAtIntermediateBandwidth) {
+  // "the bit error curves for the different SJR values all exhibit a
+  // maximum at different jammer bandwidths".
+  const BhssModel m = paper_model();
+  const double ebno = dsp::db_to_linear(15.0);
+  const double edge_low = m.ber_fixed_jammer(0.01, ebno);
+  const double edge_high = m.ber_fixed_jammer(1.0, ebno);
+  double peak = 0.0;
+  for (double bj = 0.01; bj <= 1.0; bj *= 1.3) {
+    peak = std::max(peak, m.ber_fixed_jammer(bj, ebno));
+  }
+  peak = std::max(peak, m.ber_fixed_jammer(1.0, ebno));
+  EXPECT_GT(peak, edge_low);
+  EXPECT_GE(peak, edge_high);
+}
+
+TEST(BhssModel, RateEqualisedDsssGainNearPaperValue) {
+  // §5.4: "processing gains for DSSS and FHSS of 25.4 dB" for L = 20 dB.
+  // Our 7-level log-uniform set yields ~25.8 dB (the paper's exact grid is
+  // not specified); accept the neighbourhood.
+  const BhssModel m = paper_model();
+  EXPECT_NEAR(dsp::linear_to_db(m.dsss_equivalent_processing_gain()), 25.4, 0.8);
+}
+
+TEST(BhssModel, ThroughputInUnitRange) {
+  const BhssModel m = paper_model();
+  for (double ebno_db = -5.0; ebno_db <= 30.0; ebno_db += 5.0) {
+    const double ebno = dsp::db_to_linear(ebno_db);
+    for (double t : {m.throughput_fixed_jammer(0.1, ebno, 4000),
+                     m.throughput_random_jammer(ebno, 4000), m.throughput_dsss(ebno, 4000)}) {
+      EXPECT_GE(t, 0.0);
+      EXPECT_LE(t, 1.0);
+    }
+  }
+}
+
+TEST(BhssModel, Figure11BhssBeatsDsssAgainstRandomJammer) {
+  // "the throughput of BHSS against random hopping jammers is strictly
+  // better for any Eb/No".
+  const BhssModel m = paper_model();
+  for (double ebno_db = 0.0; ebno_db <= 30.0; ebno_db += 2.0) {
+    const double ebno = dsp::db_to_linear(ebno_db);
+    EXPECT_GE(m.throughput_random_jammer(ebno, 4000) + 1e-12, m.throughput_dsss(ebno, 4000))
+        << "Eb/N0 " << ebno_db;
+  }
+}
+
+TEST(BhssModel, ValidatesInputs) {
+  EXPECT_THROW(BhssModel({0.5, 0.25}, {1.0, 1.0}, 100.0, 100.0), std::invalid_argument);
+  EXPECT_THROW(BhssModel({1.0}, {1.0, 1.0}, 100.0, 100.0), std::invalid_argument);
+  EXPECT_THROW(BhssModel({1.0}, {0.0}, 100.0, 100.0), std::invalid_argument);
+  EXPECT_THROW(BhssModel::log_uniform(0.5, 7, 100.0, 100.0), std::invalid_argument);
+  const BhssModel m = paper_model();
+  EXPECT_THROW((void)m.noise_var_for_ebno(0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bhss::core::theory

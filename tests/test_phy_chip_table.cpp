@@ -1,0 +1,88 @@
+// Unit tests for the 16-ary chip table: structure (rotation / conjugation
+// rules) and quasi-orthogonality, which the despreader's argmax relies on.
+
+#include <gtest/gtest.h>
+
+#include "phy/chip_table.hpp"
+
+namespace bhss::phy {
+namespace {
+
+TEST(ChipTable, ChipsAreAntipodal) {
+  const ChipTable& t = ChipTable::instance();
+  for (std::uint8_t s = 0; s < kNumSymbols; ++s) {
+    for (float c : t.sequence(s)) {
+      EXPECT_TRUE(c == 1.0F || c == -1.0F);
+    }
+  }
+}
+
+TEST(ChipTable, AutoCorrelationIsFull) {
+  const ChipTable& t = ChipTable::instance();
+  for (std::uint8_t s = 0; s < kNumSymbols; ++s) {
+    EXPECT_EQ(t.cross_correlation(s, s), 32) << "symbol " << int(s);
+  }
+}
+
+TEST(ChipTable, RowsAreDistinct) {
+  const ChipTable& t = ChipTable::instance();
+  for (std::uint8_t a = 0; a < kNumSymbols; ++a) {
+    for (std::uint8_t b = 0; b < kNumSymbols; ++b) {
+      if (a == b) continue;
+      EXPECT_LT(t.cross_correlation(a, b), 32) << int(a) << " vs " << int(b);
+    }
+  }
+}
+
+TEST(ChipTable, QuasiOrthogonalCrossCorrelation) {
+  // 802.15.4-style sequences: cross-correlation magnitude far below the
+  // autocorrelation so a noisy argmax stays reliable. The standard's set
+  // keeps |cc| <= 8 between distinct rows (tolerate 12 for safety).
+  const ChipTable& t = ChipTable::instance();
+  for (std::uint8_t a = 0; a < kNumSymbols; ++a) {
+    for (std::uint8_t b = 0; b < kNumSymbols; ++b) {
+      if (a == b) continue;
+      EXPECT_LE(std::abs(t.cross_correlation(a, b)), 12) << int(a) << " vs " << int(b);
+    }
+  }
+}
+
+TEST(ChipTable, EvenSymbolsAreCyclicRotations) {
+  const ChipTable& t = ChipTable::instance();
+  for (std::uint8_t s = 1; s < 8; ++s) {
+    const ChipSequence& base = t.sequence(0);
+    const ChipSequence& row = t.sequence(s);
+    for (std::size_t c = 0; c < kChipsPerSymbol; ++c) {
+      EXPECT_EQ(row[c], base[(c + 4 * s) % kChipsPerSymbol])
+          << "symbol " << int(s) << " chip " << c;
+    }
+  }
+}
+
+TEST(ChipTable, UpperSymbolsInvertOddChips) {
+  const ChipTable& t = ChipTable::instance();
+  for (std::uint8_t s = 0; s < 8; ++s) {
+    const ChipSequence& lower = t.sequence(s);
+    const ChipSequence& upper = t.sequence(static_cast<std::uint8_t>(s + 8));
+    for (std::size_t c = 0; c < kChipsPerSymbol; ++c) {
+      if (c % 2 == 0) {
+        EXPECT_EQ(upper[c], lower[c]);
+      } else {
+        EXPECT_EQ(upper[c], -lower[c]);
+      }
+    }
+  }
+}
+
+TEST(ChipTable, BalancedSequences) {
+  // Each row of an m-sequence rotation has 17 ones / 15 zeros (sum = +-2).
+  const ChipTable& t = ChipTable::instance();
+  for (std::uint8_t s = 0; s < 8; ++s) {
+    float sum = 0.0F;
+    for (float c : t.sequence(s)) sum += c;
+    EXPECT_LE(std::abs(sum), 2.0F) << "symbol " << int(s);
+  }
+}
+
+}  // namespace
+}  // namespace bhss::phy

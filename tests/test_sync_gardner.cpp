@@ -1,0 +1,115 @@
+// Unit tests for Gardner timing recovery on oversampled QPSK symbols.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "channel/impairments.hpp"
+#include "dsp/types.hpp"
+#include "sync/gardner.hpp"
+
+namespace bhss::sync {
+namespace {
+
+/// Rectangular-pulse QPSK at `sps` samples/symbol — the classic waveform
+/// Gardner's TED is specified for.
+dsp::cvec rect_qpsk(std::size_t n_symbols, std::size_t sps, unsigned seed,
+                    std::vector<dsp::cf>* symbols_out = nullptr) {
+  std::mt19937 rng(seed);
+  dsp::cvec wave;
+  wave.reserve(n_symbols * sps);
+  for (std::size_t s = 0; s < n_symbols; ++s) {
+    const float i = (rng() & 1U) ? 1.0F : -1.0F;
+    const float q = (rng() & 1U) ? 1.0F : -1.0F;
+    const dsp::cf sym{i, q};
+    if (symbols_out) symbols_out->push_back(sym);
+    for (std::size_t k = 0; k < sps; ++k) wave.push_back(sym);
+  }
+  return wave;
+}
+
+/// Fraction of recovered samples (after the acquisition transient) that
+/// match hard decisions of the sent symbol stream, allowing a small
+/// unknown integer symbol offset.
+double decision_agreement(const dsp::cvec& recovered, const std::vector<dsp::cf>& sent,
+                          std::size_t skip = 300) {
+  double best = 0.0;
+  for (int offset = -2; offset <= 2; ++offset) {
+    std::size_t match = 0;
+    std::size_t total = 0;
+    for (std::size_t i = skip; i < recovered.size(); ++i) {
+      const auto j = static_cast<std::ptrdiff_t>(i) + offset;
+      if (j < 0 || j >= static_cast<std::ptrdiff_t>(sent.size())) continue;
+      const dsp::cf r = recovered[i];
+      const dsp::cf s = sent[static_cast<std::size_t>(j)];
+      if ((r.real() > 0) == (s.real() > 0) && (r.imag() > 0) == (s.imag() > 0)) ++match;
+      ++total;
+    }
+    if (total > 0) best = std::max(best, static_cast<double>(match) / total);
+  }
+  return best;
+}
+
+class FractionalDelaySweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(FractionalDelaySweep, RecoversSymbolsThroughTimingOffset) {
+  std::vector<dsp::cf> sent;
+  const dsp::cvec wave = rect_qpsk(800, 4, 1, &sent);
+  const dsp::cvec delayed = channel::apply_fractional_delay(wave, GetParam());
+
+  GardnerTimingRecovery timing(4.0, 0.02F);
+  dsp::cvec recovered;
+  timing.process(delayed, recovered);
+  ASSERT_GT(recovered.size(), 700U);
+  EXPECT_GT(decision_agreement(recovered, sent), 0.99) << "frac=" << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Fractions, FractionalDelaySweep,
+                         ::testing::Values(0.0, 0.1, 0.25, 0.4, 0.6, 0.9));
+
+TEST(Gardner, PeriodStaysNearNominal) {
+  const dsp::cvec wave = rect_qpsk(2000, 8, 2);
+  GardnerTimingRecovery timing(8.0, 0.01F);
+  dsp::cvec out;
+  timing.process(wave, out);
+  EXPECT_NEAR(timing.period(), 8.0, 0.2);
+  EXPECT_NEAR(static_cast<double>(out.size()), 2000.0, 40.0);
+}
+
+TEST(Gardner, StreamingMatchesOneShot) {
+  const dsp::cvec wave = rect_qpsk(400, 4, 3);
+  GardnerTimingRecovery one_shot(4.0);
+  dsp::cvec out_a;
+  one_shot.process(wave, out_a);
+
+  GardnerTimingRecovery streaming(4.0);
+  dsp::cvec out_b;
+  for (std::size_t pos = 0; pos < wave.size(); pos += 128) {
+    const std::size_t len = std::min<std::size_t>(128, wave.size() - pos);
+    streaming.process(dsp::cspan{wave}.subspan(pos, len), out_b);
+  }
+  ASSERT_EQ(out_a.size(), out_b.size());
+  for (std::size_t i = 0; i < out_a.size(); ++i) {
+    EXPECT_NEAR(std::abs(out_a[i] - out_b[i]), 0.0F, 1e-4F) << "i=" << i;
+  }
+}
+
+TEST(Gardner, ResetRestoresInitialState) {
+  const dsp::cvec wave = rect_qpsk(100, 4, 4);
+  GardnerTimingRecovery timing(4.0);
+  dsp::cvec out;
+  timing.process(wave, out);
+  timing.reset();
+  EXPECT_DOUBLE_EQ(timing.period(), 4.0);
+  dsp::cvec out2;
+  timing.process(wave, out2);
+  ASSERT_EQ(out.size(), out2.size());
+}
+
+TEST(Gardner, RejectsTooFewSamplesPerSymbol) {
+  EXPECT_THROW(GardnerTimingRecovery(1.5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bhss::sync

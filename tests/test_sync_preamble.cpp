@@ -1,0 +1,137 @@
+// Unit tests for preamble-based acquisition: timing, phase, CFO, the
+// refinement pass and derotation.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <random>
+
+#include "channel/awgn.hpp"
+#include "channel/impairments.hpp"
+#include "sync/preamble_sync.hpp"
+
+namespace bhss::sync {
+namespace {
+
+dsp::cvec random_reference(std::size_t n, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::normal_distribution<float> dist(0.0F, 1.0F);
+  dsp::cvec x(n);
+  for (dsp::cf& v : x) v = dsp::cf{dist(rng), dist(rng)};
+  return x;
+}
+
+struct ImpairmentCase {
+  std::size_t delay;
+  float phase;
+  float cfo;
+};
+
+class AcquisitionSweep : public ::testing::TestWithParam<ImpairmentCase> {};
+
+TEST_P(AcquisitionSweep, RecoversTimingPhaseCfo) {
+  const auto [delay, phase, cfo] = GetParam();
+  const dsp::cvec ref = random_reference(2048, 1);
+
+  dsp::cvec channel_in = ref;
+  channel::apply_phase(dsp::cspan_mut{channel_in}, phase);
+  channel::apply_cfo(dsp::cspan_mut{channel_in}, cfo);
+  dsp::cvec rx = channel::apply_delay(channel_in, delay, delay + ref.size() + 128);
+  channel::AwgnSource noise(7);
+  noise.add_to(dsp::cspan_mut{rx}, 0.01);  // 20 dB SNR
+
+  const PreambleSync sync(ref);
+  const auto est = sync.acquire(rx, 512);
+  ASSERT_TRUE(est.has_value());
+  EXPECT_EQ(est->frame_start, delay);
+  EXPECT_GT(est->quality, 0.8F);
+  EXPECT_NEAR(est->cfo, cfo, 5e-5F);
+  // Phase comparison modulo 2 pi. The CFO applied by the channel starts at
+  // the first transmitted sample, so the phase at frame start is `phase`.
+  const float dphi = std::remainder(est->phase - phase, 2.0F * std::numbers::pi_v<float>);
+  EXPECT_NEAR(dphi, 0.0F, 0.15F);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Impairments, AcquisitionSweep,
+    ::testing::Values(ImpairmentCase{0, 0.0F, 0.0F}, ImpairmentCase{100, 0.0F, 0.0F},
+                      ImpairmentCase{37, 1.5F, 0.0F}, ImpairmentCase{37, -2.8F, 0.0F},
+                      ImpairmentCase{200, 0.7F, 1e-4F}, ImpairmentCase{411, -0.3F, -2e-4F}));
+
+TEST(PreambleSync, NoSignalReturnsNullopt) {
+  const dsp::cvec ref = random_reference(1024, 2);
+  channel::AwgnSource noise(3);
+  dsp::cvec rx = noise.generate(4096, 1.0);
+  const PreambleSync sync(ref, 0.3F);
+  EXPECT_FALSE(sync.acquire(rx, 2048).has_value());
+}
+
+TEST(PreambleSync, RefinementReducesResidualAtFrameEnd) {
+  // Long reference + CFO: the coarse two-half estimate leaves a residual
+  // that matters at open-loop range; refine() must shrink the phase error
+  // predicted far beyond the preamble.
+  const dsp::cvec ref = random_reference(16384, 4);
+  const float cfo = 8.45e-5F;
+  const float phase = -1.1F;
+
+  dsp::cvec channel_in = ref;
+  channel::apply_phase(dsp::cspan_mut{channel_in}, phase);
+  channel::apply_cfo(dsp::cspan_mut{channel_in}, cfo);
+  dsp::cvec rx = channel::apply_delay(channel_in, 50, 50 + ref.size() + 64);
+  channel::AwgnSource noise(9);
+  noise.add_to(dsp::cspan_mut{rx}, 0.05);
+
+  const PreambleSync sync(ref);
+  auto coarse = sync.acquire(rx, 256);
+  ASSERT_TRUE(coarse.has_value());
+  const SyncEstimate fine = sync.refine(rx, *coarse);
+
+  // Predicted phase error at 100k samples after frame start.
+  const double horizon = 1e5;
+  auto horizon_error = [&](const SyncEstimate& e) {
+    const double predicted = e.phase + static_cast<double>(e.cfo) * horizon;
+    const double truth = phase + static_cast<double>(cfo) * horizon;
+    return std::abs(std::remainder(predicted - truth, 2.0 * std::numbers::pi));
+  };
+  EXPECT_LE(horizon_error(fine), horizon_error(*coarse) + 1e-3);
+  EXPECT_LT(horizon_error(fine), 0.5);
+  EXPECT_NEAR(fine.cfo, cfo, 6e-6F);
+}
+
+TEST(PreambleSync, DerotateInvertsImpairments) {
+  dsp::cvec x = random_reference(512, 5);
+  const dsp::cvec original = x;
+  SyncEstimate est;
+  est.frame_start = 0;
+  est.phase = 0.9F;
+  est.cfo = 3e-4F;
+  channel::apply_phase(dsp::cspan_mut{x}, est.phase);
+  channel::apply_cfo(dsp::cspan_mut{x}, est.cfo);
+  PreambleSync::derotate(dsp::cspan_mut{x}, est);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(std::abs(x[i] - original[i]), 0.0F, 2e-3F) << "i=" << i;
+  }
+}
+
+TEST(PreambleSync, RejectsTinyReference) {
+  EXPECT_THROW(PreambleSync(dsp::cvec(4)), std::invalid_argument);
+}
+
+TEST(PreambleSync, QualityDegradesWithJamming) {
+  const dsp::cvec ref = random_reference(2048, 6);
+  dsp::cvec rx = channel::apply_delay(ref, 10, 10 + ref.size() + 64);
+  channel::AwgnSource jammer(11);
+  dsp::cvec clean = rx;
+  const PreambleSync sync(ref, 0.05F);
+  const auto clean_est = sync.acquire(clean, 128);
+  ASSERT_TRUE(clean_est.has_value());
+
+  jammer.add_to(dsp::cspan_mut{rx}, 10.0);  // -10 dB SJR
+  const auto jammed_est = sync.acquire(rx, 128);
+  ASSERT_TRUE(jammed_est.has_value());
+  EXPECT_LT(jammed_est->quality, clean_est->quality);
+}
+
+}  // namespace
+}  // namespace bhss::sync
