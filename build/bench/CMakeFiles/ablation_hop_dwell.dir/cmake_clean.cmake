@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_hop_dwell.dir/ablation_hop_dwell.cpp.o"
+  "CMakeFiles/ablation_hop_dwell.dir/ablation_hop_dwell.cpp.o.d"
+  "ablation_hop_dwell"
+  "ablation_hop_dwell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_hop_dwell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

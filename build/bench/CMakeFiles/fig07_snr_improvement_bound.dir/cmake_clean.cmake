@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_snr_improvement_bound.dir/fig07_snr_improvement_bound.cpp.o"
+  "CMakeFiles/fig07_snr_improvement_bound.dir/fig07_snr_improvement_bound.cpp.o.d"
+  "fig07_snr_improvement_bound"
+  "fig07_snr_improvement_bound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_snr_improvement_bound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

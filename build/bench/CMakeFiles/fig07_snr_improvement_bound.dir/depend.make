@@ -1,0 +1,2 @@
+# Empty dependencies file for fig07_snr_improvement_bound.
+# This may be replaced when dependencies are built.

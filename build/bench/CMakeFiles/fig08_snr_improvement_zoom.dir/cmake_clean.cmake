@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_snr_improvement_zoom.dir/fig08_snr_improvement_zoom.cpp.o"
+  "CMakeFiles/fig08_snr_improvement_zoom.dir/fig08_snr_improvement_zoom.cpp.o.d"
+  "fig08_snr_improvement_zoom"
+  "fig08_snr_improvement_zoom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_snr_improvement_zoom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig08_snr_improvement_zoom.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_ber_vs_ebno.dir/fig09_ber_vs_ebno.cpp.o"
+  "CMakeFiles/fig09_ber_vs_ebno.dir/fig09_ber_vs_ebno.cpp.o.d"
+  "fig09_ber_vs_ebno"
+  "fig09_ber_vs_ebno.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_ber_vs_ebno.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

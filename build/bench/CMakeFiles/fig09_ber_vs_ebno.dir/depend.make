@@ -1,0 +1,2 @@
+# Empty dependencies file for fig09_ber_vs_ebno.
+# This may be replaced when dependencies are built.

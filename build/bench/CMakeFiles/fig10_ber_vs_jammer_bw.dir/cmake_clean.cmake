@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_ber_vs_jammer_bw.dir/fig10_ber_vs_jammer_bw.cpp.o"
+  "CMakeFiles/fig10_ber_vs_jammer_bw.dir/fig10_ber_vs_jammer_bw.cpp.o.d"
+  "fig10_ber_vs_jammer_bw"
+  "fig10_ber_vs_jammer_bw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_ber_vs_jammer_bw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

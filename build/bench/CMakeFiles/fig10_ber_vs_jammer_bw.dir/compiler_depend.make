@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig10_ber_vs_jammer_bw.
+# This may be replaced when dependencies are built.

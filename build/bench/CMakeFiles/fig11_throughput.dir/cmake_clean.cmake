@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_throughput.dir/fig11_throughput.cpp.o"
+  "CMakeFiles/fig11_throughput.dir/fig11_throughput.cpp.o.d"
+  "fig11_throughput"
+  "fig11_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

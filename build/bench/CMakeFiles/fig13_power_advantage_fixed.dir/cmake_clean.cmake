@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_power_advantage_fixed.dir/fig13_power_advantage_fixed.cpp.o"
+  "CMakeFiles/fig13_power_advantage_fixed.dir/fig13_power_advantage_fixed.cpp.o.d"
+  "fig13_power_advantage_fixed"
+  "fig13_power_advantage_fixed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_power_advantage_fixed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_power_advantage_hopping.dir/fig14_power_advantage_hopping.cpp.o"
+  "CMakeFiles/fig14_power_advantage_hopping.dir/fig14_power_advantage_hopping.cpp.o.d"
+  "fig14_power_advantage_hopping"
+  "fig14_power_advantage_hopping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_power_advantage_hopping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_hop_distributions.dir/table1_hop_distributions.cpp.o"
+  "CMakeFiles/table1_hop_distributions.dir/table1_hop_distributions.cpp.o.d"
+  "table1_hop_distributions"
+  "table1_hop_distributions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_hop_distributions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

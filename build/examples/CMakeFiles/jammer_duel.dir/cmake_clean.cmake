@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jammer_duel.dir/jammer_duel.cpp.o"
+  "CMakeFiles/jammer_duel.dir/jammer_duel.cpp.o.d"
+  "jammer_duel"
+  "jammer_duel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jammer_duel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spectrum_monitor.dir/spectrum_monitor.cpp.o"
+  "CMakeFiles/spectrum_monitor.dir/spectrum_monitor.cpp.o.d"
+  "spectrum_monitor"
+  "spectrum_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spectrum_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

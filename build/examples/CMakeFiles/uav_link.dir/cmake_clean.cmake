@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uav_link.dir/uav_link.cpp.o"
+  "CMakeFiles/uav_link.dir/uav_link.cpp.o.d"
+  "uav_link"
+  "uav_link.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uav_link.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

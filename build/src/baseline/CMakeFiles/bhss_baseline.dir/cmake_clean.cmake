@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bhss_baseline.dir/analytical.cpp.o"
+  "CMakeFiles/bhss_baseline.dir/analytical.cpp.o.d"
+  "CMakeFiles/bhss_baseline.dir/dsss_baseline.cpp.o"
+  "CMakeFiles/bhss_baseline.dir/dsss_baseline.cpp.o.d"
+  "CMakeFiles/bhss_baseline.dir/fhss.cpp.o"
+  "CMakeFiles/bhss_baseline.dir/fhss.cpp.o.d"
+  "libbhss_baseline.a"
+  "libbhss_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bhss_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

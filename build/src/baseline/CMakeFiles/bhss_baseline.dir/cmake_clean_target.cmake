@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbhss_baseline.a"
+)

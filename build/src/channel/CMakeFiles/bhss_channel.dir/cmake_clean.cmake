@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bhss_channel.dir/awgn.cpp.o"
+  "CMakeFiles/bhss_channel.dir/awgn.cpp.o.d"
+  "CMakeFiles/bhss_channel.dir/impairments.cpp.o"
+  "CMakeFiles/bhss_channel.dir/impairments.cpp.o.d"
+  "CMakeFiles/bhss_channel.dir/link_channel.cpp.o"
+  "CMakeFiles/bhss_channel.dir/link_channel.cpp.o.d"
+  "libbhss_channel.a"
+  "libbhss_channel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bhss_channel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/bandwidth_set.cpp" "src/core/CMakeFiles/bhss_core.dir/bandwidth_set.cpp.o" "gcc" "src/core/CMakeFiles/bhss_core.dir/bandwidth_set.cpp.o.d"
+  "/root/repo/src/core/control_logic.cpp" "src/core/CMakeFiles/bhss_core.dir/control_logic.cpp.o" "gcc" "src/core/CMakeFiles/bhss_core.dir/control_logic.cpp.o.d"
+  "/root/repo/src/core/hop_pattern.cpp" "src/core/CMakeFiles/bhss_core.dir/hop_pattern.cpp.o" "gcc" "src/core/CMakeFiles/bhss_core.dir/hop_pattern.cpp.o.d"
+  "/root/repo/src/core/hop_schedule.cpp" "src/core/CMakeFiles/bhss_core.dir/hop_schedule.cpp.o" "gcc" "src/core/CMakeFiles/bhss_core.dir/hop_schedule.cpp.o.d"
+  "/root/repo/src/core/link_simulator.cpp" "src/core/CMakeFiles/bhss_core.dir/link_simulator.cpp.o" "gcc" "src/core/CMakeFiles/bhss_core.dir/link_simulator.cpp.o.d"
+  "/root/repo/src/core/pattern_optimizer.cpp" "src/core/CMakeFiles/bhss_core.dir/pattern_optimizer.cpp.o" "gcc" "src/core/CMakeFiles/bhss_core.dir/pattern_optimizer.cpp.o.d"
+  "/root/repo/src/core/receiver.cpp" "src/core/CMakeFiles/bhss_core.dir/receiver.cpp.o" "gcc" "src/core/CMakeFiles/bhss_core.dir/receiver.cpp.o.d"
+  "/root/repo/src/core/shared_random.cpp" "src/core/CMakeFiles/bhss_core.dir/shared_random.cpp.o" "gcc" "src/core/CMakeFiles/bhss_core.dir/shared_random.cpp.o.d"
+  "/root/repo/src/core/theory.cpp" "src/core/CMakeFiles/bhss_core.dir/theory.cpp.o" "gcc" "src/core/CMakeFiles/bhss_core.dir/theory.cpp.o.d"
+  "/root/repo/src/core/transmitter.cpp" "src/core/CMakeFiles/bhss_core.dir/transmitter.cpp.o" "gcc" "src/core/CMakeFiles/bhss_core.dir/transmitter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dsp/CMakeFiles/bhss_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/bhss_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/sync/CMakeFiles/bhss_sync.dir/DependInfo.cmake"
+  "/root/repo/build/src/channel/CMakeFiles/bhss_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/jammer/CMakeFiles/bhss_jammer.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bhss_core.dir/bandwidth_set.cpp.o"
+  "CMakeFiles/bhss_core.dir/bandwidth_set.cpp.o.d"
+  "CMakeFiles/bhss_core.dir/control_logic.cpp.o"
+  "CMakeFiles/bhss_core.dir/control_logic.cpp.o.d"
+  "CMakeFiles/bhss_core.dir/hop_pattern.cpp.o"
+  "CMakeFiles/bhss_core.dir/hop_pattern.cpp.o.d"
+  "CMakeFiles/bhss_core.dir/hop_schedule.cpp.o"
+  "CMakeFiles/bhss_core.dir/hop_schedule.cpp.o.d"
+  "CMakeFiles/bhss_core.dir/link_simulator.cpp.o"
+  "CMakeFiles/bhss_core.dir/link_simulator.cpp.o.d"
+  "CMakeFiles/bhss_core.dir/pattern_optimizer.cpp.o"
+  "CMakeFiles/bhss_core.dir/pattern_optimizer.cpp.o.d"
+  "CMakeFiles/bhss_core.dir/receiver.cpp.o"
+  "CMakeFiles/bhss_core.dir/receiver.cpp.o.d"
+  "CMakeFiles/bhss_core.dir/shared_random.cpp.o"
+  "CMakeFiles/bhss_core.dir/shared_random.cpp.o.d"
+  "CMakeFiles/bhss_core.dir/theory.cpp.o"
+  "CMakeFiles/bhss_core.dir/theory.cpp.o.d"
+  "CMakeFiles/bhss_core.dir/transmitter.cpp.o"
+  "CMakeFiles/bhss_core.dir/transmitter.cpp.o.d"
+  "libbhss_core.a"
+  "libbhss_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bhss_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bhss_dsp.dir/autocorr.cpp.o"
+  "CMakeFiles/bhss_dsp.dir/autocorr.cpp.o.d"
+  "CMakeFiles/bhss_dsp.dir/fft.cpp.o"
+  "CMakeFiles/bhss_dsp.dir/fft.cpp.o.d"
+  "CMakeFiles/bhss_dsp.dir/fir.cpp.o"
+  "CMakeFiles/bhss_dsp.dir/fir.cpp.o.d"
+  "CMakeFiles/bhss_dsp.dir/psd.cpp.o"
+  "CMakeFiles/bhss_dsp.dir/psd.cpp.o.d"
+  "CMakeFiles/bhss_dsp.dir/pulse.cpp.o"
+  "CMakeFiles/bhss_dsp.dir/pulse.cpp.o.d"
+  "CMakeFiles/bhss_dsp.dir/utils.cpp.o"
+  "CMakeFiles/bhss_dsp.dir/utils.cpp.o.d"
+  "CMakeFiles/bhss_dsp.dir/window.cpp.o"
+  "CMakeFiles/bhss_dsp.dir/window.cpp.o.d"
+  "libbhss_dsp.a"
+  "libbhss_dsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bhss_dsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/jammer/hopping_jammer.cpp" "src/jammer/CMakeFiles/bhss_jammer.dir/hopping_jammer.cpp.o" "gcc" "src/jammer/CMakeFiles/bhss_jammer.dir/hopping_jammer.cpp.o.d"
+  "/root/repo/src/jammer/noise_jammer.cpp" "src/jammer/CMakeFiles/bhss_jammer.dir/noise_jammer.cpp.o" "gcc" "src/jammer/CMakeFiles/bhss_jammer.dir/noise_jammer.cpp.o.d"
+  "/root/repo/src/jammer/reactive_jammer.cpp" "src/jammer/CMakeFiles/bhss_jammer.dir/reactive_jammer.cpp.o" "gcc" "src/jammer/CMakeFiles/bhss_jammer.dir/reactive_jammer.cpp.o.d"
+  "/root/repo/src/jammer/tone_jammer.cpp" "src/jammer/CMakeFiles/bhss_jammer.dir/tone_jammer.cpp.o" "gcc" "src/jammer/CMakeFiles/bhss_jammer.dir/tone_jammer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dsp/CMakeFiles/bhss_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/channel/CMakeFiles/bhss_channel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

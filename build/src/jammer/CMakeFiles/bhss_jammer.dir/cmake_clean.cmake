@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bhss_jammer.dir/hopping_jammer.cpp.o"
+  "CMakeFiles/bhss_jammer.dir/hopping_jammer.cpp.o.d"
+  "CMakeFiles/bhss_jammer.dir/noise_jammer.cpp.o"
+  "CMakeFiles/bhss_jammer.dir/noise_jammer.cpp.o.d"
+  "CMakeFiles/bhss_jammer.dir/reactive_jammer.cpp.o"
+  "CMakeFiles/bhss_jammer.dir/reactive_jammer.cpp.o.d"
+  "CMakeFiles/bhss_jammer.dir/tone_jammer.cpp.o"
+  "CMakeFiles/bhss_jammer.dir/tone_jammer.cpp.o.d"
+  "libbhss_jammer.a"
+  "libbhss_jammer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bhss_jammer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

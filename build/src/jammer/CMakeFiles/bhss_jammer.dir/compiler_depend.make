@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bhss_jammer.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/phy/chip_table.cpp" "src/phy/CMakeFiles/bhss_phy.dir/chip_table.cpp.o" "gcc" "src/phy/CMakeFiles/bhss_phy.dir/chip_table.cpp.o.d"
+  "/root/repo/src/phy/crc16.cpp" "src/phy/CMakeFiles/bhss_phy.dir/crc16.cpp.o" "gcc" "src/phy/CMakeFiles/bhss_phy.dir/crc16.cpp.o.d"
+  "/root/repo/src/phy/frame.cpp" "src/phy/CMakeFiles/bhss_phy.dir/frame.cpp.o" "gcc" "src/phy/CMakeFiles/bhss_phy.dir/frame.cpp.o.d"
+  "/root/repo/src/phy/modulator.cpp" "src/phy/CMakeFiles/bhss_phy.dir/modulator.cpp.o" "gcc" "src/phy/CMakeFiles/bhss_phy.dir/modulator.cpp.o.d"
+  "/root/repo/src/phy/pn.cpp" "src/phy/CMakeFiles/bhss_phy.dir/pn.cpp.o" "gcc" "src/phy/CMakeFiles/bhss_phy.dir/pn.cpp.o.d"
+  "/root/repo/src/phy/spreader.cpp" "src/phy/CMakeFiles/bhss_phy.dir/spreader.cpp.o" "gcc" "src/phy/CMakeFiles/bhss_phy.dir/spreader.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dsp/CMakeFiles/bhss_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

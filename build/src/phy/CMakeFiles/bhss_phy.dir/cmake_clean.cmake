@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bhss_phy.dir/chip_table.cpp.o"
+  "CMakeFiles/bhss_phy.dir/chip_table.cpp.o.d"
+  "CMakeFiles/bhss_phy.dir/crc16.cpp.o"
+  "CMakeFiles/bhss_phy.dir/crc16.cpp.o.d"
+  "CMakeFiles/bhss_phy.dir/frame.cpp.o"
+  "CMakeFiles/bhss_phy.dir/frame.cpp.o.d"
+  "CMakeFiles/bhss_phy.dir/modulator.cpp.o"
+  "CMakeFiles/bhss_phy.dir/modulator.cpp.o.d"
+  "CMakeFiles/bhss_phy.dir/pn.cpp.o"
+  "CMakeFiles/bhss_phy.dir/pn.cpp.o.d"
+  "CMakeFiles/bhss_phy.dir/spreader.cpp.o"
+  "CMakeFiles/bhss_phy.dir/spreader.cpp.o.d"
+  "libbhss_phy.a"
+  "libbhss_phy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bhss_phy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sync/correlate.cpp" "src/sync/CMakeFiles/bhss_sync.dir/correlate.cpp.o" "gcc" "src/sync/CMakeFiles/bhss_sync.dir/correlate.cpp.o.d"
+  "/root/repo/src/sync/costas.cpp" "src/sync/CMakeFiles/bhss_sync.dir/costas.cpp.o" "gcc" "src/sync/CMakeFiles/bhss_sync.dir/costas.cpp.o.d"
+  "/root/repo/src/sync/gardner.cpp" "src/sync/CMakeFiles/bhss_sync.dir/gardner.cpp.o" "gcc" "src/sync/CMakeFiles/bhss_sync.dir/gardner.cpp.o.d"
+  "/root/repo/src/sync/preamble_sync.cpp" "src/sync/CMakeFiles/bhss_sync.dir/preamble_sync.cpp.o" "gcc" "src/sync/CMakeFiles/bhss_sync.dir/preamble_sync.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dsp/CMakeFiles/bhss_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/bhss_phy.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

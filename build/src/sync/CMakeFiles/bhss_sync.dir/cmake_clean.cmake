@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bhss_sync.dir/correlate.cpp.o"
+  "CMakeFiles/bhss_sync.dir/correlate.cpp.o.d"
+  "CMakeFiles/bhss_sync.dir/costas.cpp.o"
+  "CMakeFiles/bhss_sync.dir/costas.cpp.o.d"
+  "CMakeFiles/bhss_sync.dir/gardner.cpp.o"
+  "CMakeFiles/bhss_sync.dir/gardner.cpp.o.d"
+  "CMakeFiles/bhss_sync.dir/preamble_sync.cpp.o"
+  "CMakeFiles/bhss_sync.dir/preamble_sync.cpp.o.d"
+  "libbhss_sync.a"
+  "libbhss_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bhss_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

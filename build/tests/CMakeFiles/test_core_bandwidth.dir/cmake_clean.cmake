@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_bandwidth.dir/test_core_bandwidth.cpp.o"
+  "CMakeFiles/test_core_bandwidth.dir/test_core_bandwidth.cpp.o.d"
+  "test_core_bandwidth"
+  "test_core_bandwidth.pdb"
+  "test_core_bandwidth[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

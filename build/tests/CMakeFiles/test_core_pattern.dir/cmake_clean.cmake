@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_pattern.dir/test_core_pattern.cpp.o"
+  "CMakeFiles/test_core_pattern.dir/test_core_pattern.cpp.o.d"
+  "test_core_pattern"
+  "test_core_pattern.pdb"
+  "test_core_pattern[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_pattern.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

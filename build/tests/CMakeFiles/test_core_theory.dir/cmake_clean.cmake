@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_theory.dir/test_core_theory.cpp.o"
+  "CMakeFiles/test_core_theory.dir/test_core_theory.cpp.o.d"
+  "test_core_theory"
+  "test_core_theory.pdb"
+  "test_core_theory[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_theory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_txrx.dir/test_core_txrx.cpp.o"
+  "CMakeFiles/test_core_txrx.dir/test_core_txrx.cpp.o.d"
+  "test_core_txrx"
+  "test_core_txrx.pdb"
+  "test_core_txrx[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_txrx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

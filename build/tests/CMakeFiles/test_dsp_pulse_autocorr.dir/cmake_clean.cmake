@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dsp_pulse_autocorr.dir/test_dsp_pulse_autocorr.cpp.o"
+  "CMakeFiles/test_dsp_pulse_autocorr.dir/test_dsp_pulse_autocorr.cpp.o.d"
+  "test_dsp_pulse_autocorr"
+  "test_dsp_pulse_autocorr.pdb"
+  "test_dsp_pulse_autocorr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dsp_pulse_autocorr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

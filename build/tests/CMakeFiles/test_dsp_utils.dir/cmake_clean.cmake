@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dsp_utils.dir/test_dsp_utils.cpp.o"
+  "CMakeFiles/test_dsp_utils.dir/test_dsp_utils.cpp.o.d"
+  "test_dsp_utils"
+  "test_dsp_utils.pdb"
+  "test_dsp_utils[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dsp_utils.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration_link.dir/test_integration_link.cpp.o"
+  "CMakeFiles/test_integration_link.dir/test_integration_link.cpp.o.d"
+  "test_integration_link"
+  "test_integration_link.pdb"
+  "test_integration_link[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration_link.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_jammer_tone.dir/test_jammer_tone.cpp.o"
+  "CMakeFiles/test_jammer_tone.dir/test_jammer_tone.cpp.o.d"
+  "test_jammer_tone"
+  "test_jammer_tone.pdb"
+  "test_jammer_tone[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_jammer_tone.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

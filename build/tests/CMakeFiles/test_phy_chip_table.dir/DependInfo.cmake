@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_phy_chip_table.cpp" "tests/CMakeFiles/test_phy_chip_table.dir/test_phy_chip_table.cpp.o" "gcc" "tests/CMakeFiles/test_phy_chip_table.dir/test_phy_chip_table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baseline/CMakeFiles/bhss_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/bhss_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sync/CMakeFiles/bhss_sync.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/bhss_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/jammer/CMakeFiles/bhss_jammer.dir/DependInfo.cmake"
+  "/root/repo/build/src/channel/CMakeFiles/bhss_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/bhss_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

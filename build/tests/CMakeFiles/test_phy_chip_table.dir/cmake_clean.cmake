@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_phy_chip_table.dir/test_phy_chip_table.cpp.o"
+  "CMakeFiles/test_phy_chip_table.dir/test_phy_chip_table.cpp.o.d"
+  "test_phy_chip_table"
+  "test_phy_chip_table.pdb"
+  "test_phy_chip_table[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_phy_chip_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_phy_crc.dir/test_phy_crc.cpp.o"
+  "CMakeFiles/test_phy_crc.dir/test_phy_crc.cpp.o.d"
+  "test_phy_crc"
+  "test_phy_crc.pdb"
+  "test_phy_crc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_phy_crc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

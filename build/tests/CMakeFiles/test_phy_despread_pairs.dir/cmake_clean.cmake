@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_phy_despread_pairs.dir/test_phy_despread_pairs.cpp.o"
+  "CMakeFiles/test_phy_despread_pairs.dir/test_phy_despread_pairs.cpp.o.d"
+  "test_phy_despread_pairs"
+  "test_phy_despread_pairs.pdb"
+  "test_phy_despread_pairs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_phy_despread_pairs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

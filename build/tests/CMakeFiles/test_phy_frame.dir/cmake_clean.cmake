@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_phy_frame.dir/test_phy_frame.cpp.o"
+  "CMakeFiles/test_phy_frame.dir/test_phy_frame.cpp.o.d"
+  "test_phy_frame"
+  "test_phy_frame.pdb"
+  "test_phy_frame[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_phy_frame.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_phy_modulator.dir/test_phy_modulator.cpp.o"
+  "CMakeFiles/test_phy_modulator.dir/test_phy_modulator.cpp.o.d"
+  "test_phy_modulator"
+  "test_phy_modulator.pdb"
+  "test_phy_modulator[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_phy_modulator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_phy_pn.dir/test_phy_pn.cpp.o"
+  "CMakeFiles/test_phy_pn.dir/test_phy_pn.cpp.o.d"
+  "test_phy_pn"
+  "test_phy_pn.pdb"
+  "test_phy_pn[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_phy_pn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_phy_spreader.dir/test_phy_spreader.cpp.o"
+  "CMakeFiles/test_phy_spreader.dir/test_phy_spreader.cpp.o.d"
+  "test_phy_spreader"
+  "test_phy_spreader.pdb"
+  "test_phy_spreader[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_phy_spreader.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

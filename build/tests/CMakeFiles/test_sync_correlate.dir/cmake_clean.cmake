@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sync_correlate.dir/test_sync_correlate.cpp.o"
+  "CMakeFiles/test_sync_correlate.dir/test_sync_correlate.cpp.o.d"
+  "test_sync_correlate"
+  "test_sync_correlate.pdb"
+  "test_sync_correlate[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sync_correlate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

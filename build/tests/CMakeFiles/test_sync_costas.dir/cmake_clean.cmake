@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sync_costas.dir/test_sync_costas.cpp.o"
+  "CMakeFiles/test_sync_costas.dir/test_sync_costas.cpp.o.d"
+  "test_sync_costas"
+  "test_sync_costas.pdb"
+  "test_sync_costas[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sync_costas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

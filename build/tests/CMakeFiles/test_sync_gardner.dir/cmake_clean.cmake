@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sync_gardner.dir/test_sync_gardner.cpp.o"
+  "CMakeFiles/test_sync_gardner.dir/test_sync_gardner.cpp.o.d"
+  "test_sync_gardner"
+  "test_sync_gardner.pdb"
+  "test_sync_gardner[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sync_gardner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sync_preamble.dir/test_sync_preamble.cpp.o"
+  "CMakeFiles/test_sync_preamble.dir/test_sync_preamble.cpp.o.d"
+  "test_sync_preamble"
+  "test_sync_preamble.pdb"
+  "test_sync_preamble[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sync_preamble.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
