@@ -32,7 +32,9 @@ void draw(const dsp::fvec& centred, const char* title) {
   double max_db = -300.0;
   for (std::size_t c = 0; c < kCols; ++c) {
     double acc = 0.0;
-    for (std::size_t b = 0; b < bins_per_col; ++b) acc += centred[c * bins_per_col + b];
+    for (std::size_t b = 0; b < bins_per_col; ++b) {
+      acc += static_cast<double>(centred[c * bins_per_col + b]);
+    }
     col_db[c] = dsp::linear_to_db(acc / static_cast<double>(bins_per_col) + 1e-30);
     max_db = std::max(max_db, col_db[c]);
   }

@@ -1,0 +1,157 @@
+#!/usr/bin/env python3
+"""Project-specific lint rules for the BHSS codebase.
+
+clang-tidy covers generic C++ defects; this script enforces the conventions
+that keep the sample path fast and reproducible and that no off-the-shelf
+check knows about:
+
+  R1  sample-path-double   Sample buffers are single-precision (float / cf,
+                           see src/dsp/types.hpp). A double-typed buffer in a
+                           DSP-layer public signature doubles memory traffic
+                           and silently mixes precisions. Scalar double
+                           parameters (gains, rates, dB values) are fine, and
+                           so is double-precision scratch inside design-time
+                           routines — only buffer types in headers (the
+                           public signatures) are flagged.
+  R2  unmanaged-random     All randomness flows through core/shared_random so
+                           every run is reproducible from a single seed.
+                           rand() and ad-hoc std::random_device elsewhere
+                           break that.
+  R3  raw-allocation       No raw new / malloc / free: buffers are
+                           std::vector / std::array, ownership is RAII.
+  R4  vector-ref-param     Public DSP APIs take cspan / fspan (see
+                           src/dsp/types.hpp), not const std::vector&, so
+                           callers can pass sub-ranges without copying.
+
+Usage:  scripts/bhss_lint.py [paths...]     (default: src bench examples)
+Exit:   0 clean, 1 violations found.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_PATHS = ["src", "bench", "examples"]
+
+# Libraries whose public signatures are "the sample path": per-sample buffers
+# move through these layers at the receiver's full rate.
+SAMPLE_PATH_DIRS = ("src/dsp", "src/phy", "src/sync", "src/channel")
+
+# The one home allowed to touch raw randomness primitives.
+RANDOM_HOME = "src/core/shared_random"
+
+DOUBLE_BUFFER = re.compile(
+    r"std::(?:vector|span)<\s*(?:const\s+)?double\s*>"
+    r"|(?:const\s+)?double\s*\*"
+)
+RAND_CALL = re.compile(r"(?<![\w:])(?:std::)?rand\s*\(\s*\)")
+RANDOM_DEVICE = re.compile(r"std::random_device")
+RAW_NEW = re.compile(r"(?<![\w:])new\s+[A-Za-z_:][\w:<>,\s]*[\[(;]?")
+MALLOC_FREE = re.compile(r"(?<![\w:.])(?:std::)?(?:malloc|calloc|realloc|free)\s*\(")
+VECTOR_REF_PARAM = re.compile(r"const\s+std::vector<[^>]+>\s*&\s*\w+\s*[,)]")
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blank out comments and string/char literals, preserving line numbers."""
+    out: list[str] = []
+    i, n = 0, len(text)
+    while i < n:
+        ch = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if ch == "/" and nxt == "/":
+            end = text.find("\n", i)
+            i = n if end == -1 else end
+        elif ch == "/" and nxt == "*":
+            end = text.find("*/", i + 2)
+            seg = text[i : n if end == -1 else end + 2]
+            out.append("\n" * seg.count("\n"))
+            i = n if end == -1 else end + 2
+        elif ch in ('"', "'"):
+            j = i + 1
+            while j < n and text[j] != ch:
+                j += 2 if text[j] == "\\" else 1
+            i = min(j + 1, n)
+            out.append(" ")
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+def relpath(path: Path) -> str:
+    try:
+        return path.relative_to(REPO_ROOT).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def in_sample_path(rel: str) -> bool:
+    return any(rel.startswith(d + "/") for d in SAMPLE_PATH_DIRS)
+
+
+def lint_file(path: Path) -> list[tuple[str, int, str, str]]:
+    rel = relpath(path)
+    text = strip_comments_and_strings(path.read_text(encoding="utf-8"))
+    findings = []
+
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if RAND_CALL.search(line):
+            findings.append((rel, lineno, "unmanaged-random",
+                             "rand() is banned; use core/shared_random"))
+        if RANDOM_DEVICE.search(line) and RANDOM_HOME not in rel:
+            findings.append((rel, lineno, "unmanaged-random",
+                             "std::random_device outside core/shared_random "
+                             "breaks seed reproducibility"))
+        if MALLOC_FREE.search(line):
+            findings.append((rel, lineno, "raw-allocation",
+                             "malloc/free are banned; use std::vector"))
+        if RAW_NEW.search(line):
+            findings.append((rel, lineno, "raw-allocation",
+                             "raw new is banned; use std::vector / "
+                             "std::make_unique"))
+        if in_sample_path(rel) and path.suffix == ".hpp":
+            if DOUBLE_BUFFER.search(line):
+                findings.append((rel, lineno, "sample-path-double",
+                                 "double-typed buffer in sample-path "
+                                 "signature; use float/cf buffers per "
+                                 "dsp/types.hpp"))
+            if VECTOR_REF_PARAM.search(line):
+                findings.append((rel, lineno, "vector-ref-param",
+                                 "public DSP API should take cspan/fspan, "
+                                 "not const std::vector&"))
+    return findings
+
+
+def main(argv: list[str]) -> int:
+    roots = [REPO_ROOT / p for p in (argv or DEFAULT_PATHS)]
+    files: list[Path] = []
+    for root in roots:
+        if not root.exists():
+            # A typo'd path must not read as "0 violations" in CI.
+            print(f"bhss_lint: error: no such file or directory: {root}",
+                  file=sys.stderr)
+            return 2
+        if root.is_file():
+            files.append(root)
+        else:
+            files.extend(sorted(root.rglob("*.hpp")))
+            files.extend(sorted(root.rglob("*.cpp")))
+
+    all_findings = []
+    for f in files:
+        all_findings.extend(lint_file(f))
+
+    for rel, lineno, rule, msg in sorted(all_findings):
+        print(f"{rel}:{lineno}: [{rule}] {msg}")
+
+    n = len(all_findings)
+    print(f"bhss_lint: {len(files)} files checked, "
+          f"{n} violation{'s' if n != 1 else ''}.")
+    return 1 if all_findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -4,6 +4,7 @@
 #include <numbers>
 #include <stdexcept>
 
+#include "core/contracts.hpp"
 #include "phy/frame.hpp"
 #include "phy/modulator.hpp"
 #include "phy/spreader.hpp"
@@ -25,8 +26,8 @@ void mix(dsp::cspan_mut x, std::size_t begin, std::size_t end, double freq,
 }  // namespace
 
 FhssTransmitter::FhssTransmitter(FhssConfig config) : config_(config) {
-  if (config_.sps < config_.n_channels)
-    throw std::invalid_argument("FhssTransmitter: sps must be >= n_channels (channel overlap)");
+  BHSS_REQUIRE(config_.sps >= config_.n_channels,
+               "FhssTransmitter: sps must be >= n_channels (channel overlap)");
 }
 
 FhssTransmission FhssTransmitter::transmit(std::span<const std::uint8_t> payload,

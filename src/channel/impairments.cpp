@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/contracts.hpp"
+
 namespace bhss::channel {
 
 void apply_phase(dsp::cspan_mut x, float phase) noexcept {
@@ -32,8 +34,7 @@ dsp::cvec apply_delay(dsp::cspan x, std::size_t delay, std::size_t total_len) {
 }
 
 dsp::cvec apply_fractional_delay(dsp::cspan x, double frac) {
-  if (frac < 0.0 || frac >= 1.0)
-    throw std::invalid_argument("apply_fractional_delay: frac must be in [0, 1)");
+  BHSS_REQUIRE(frac >= 0.0 && frac < 1.0, "apply_fractional_delay: frac must be in [0, 1)");
   const auto f = static_cast<float>(frac);
   dsp::cvec out(x.size() + 1, dsp::cf{0.0F, 0.0F});
   // y[n] = (1-f) x[n] + f x[n-1]: a one-tap linear interpolator.

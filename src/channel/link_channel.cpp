@@ -3,11 +3,22 @@
 #include <cmath>
 
 #include "channel/impairments.hpp"
+#include "core/contracts.hpp"
 #include "dsp/utils.hpp"
 
 namespace bhss::channel {
 
 dsp::cvec transmit(dsp::cspan tx, dsp::cspan jam, const LinkConfig& cfg, AwgnSource& noise) {
+  // The channel is the junction where every waveform source (modulator,
+  // jammer, impairment models) meets; a non-finite sample here would be
+  // amplified into a fully corrupted capture downstream.
+  BHSS_REQUIRE(dsp::all_finite(tx), "transmit: tx waveform contains non-finite samples");
+  BHSS_REQUIRE(dsp::all_finite(jam), "transmit: jammer waveform contains non-finite samples");
+  BHSS_REQUIRE(std::isfinite(cfg.snr_db), "transmit: snr_db must be finite");
+  BHSS_REQUIRE(!cfg.jnr_db.has_value() || std::isfinite(*cfg.jnr_db),
+               "transmit: jnr_db must be finite");
+  BHSS_REQUIRE(std::isfinite(cfg.cfo) && std::isfinite(cfg.phase),
+               "transmit: cfo/phase impairments must be finite");
   const std::size_t total_len = cfg.tx_delay + tx.size() + cfg.tail_pad;
 
   // Signal path: normalise, impair, delay, scale to the requested SNR.
@@ -30,6 +41,7 @@ dsp::cvec transmit(dsp::cspan tx, dsp::cspan jam, const LinkConfig& cfg, AwgnSou
 
   // Thermal noise floor at unit power.
   noise.add_to(out, 1.0);
+  BHSS_ENSURE(dsp::all_finite(dsp::cspan{out}), "transmit: channel emitted non-finite samples");
   return out;
 }
 

@@ -2,17 +2,18 @@
 
 #include <stdexcept>
 
+#include "core/contracts.hpp"
+
 namespace bhss::core {
 
 BandwidthSet::BandwidthSet(double sample_rate_hz, std::vector<std::size_t> sps_levels)
     : sample_rate_hz_(sample_rate_hz), sps_levels_(std::move(sps_levels)) {
-  if (sample_rate_hz_ <= 0.0) throw std::invalid_argument("BandwidthSet: Rs must be > 0");
-  if (sps_levels_.empty()) throw std::invalid_argument("BandwidthSet: need >= 1 level");
+  BHSS_REQUIRE(sample_rate_hz_ > 0.0, "BandwidthSet: Rs must be > 0");
+  BHSS_REQUIRE(!sps_levels_.empty(), "BandwidthSet: need >= 1 level");
   std::size_t prev = 0;
   for (std::size_t sps : sps_levels_) {
-    if (sps < 2 || sps % 2 != 0)
-      throw std::invalid_argument("BandwidthSet: sps levels must be even and >= 2");
-    if (sps <= prev) throw std::invalid_argument("BandwidthSet: sps levels must be ascending");
+    BHSS_REQUIRE(sps >= 2 && sps % 2 == 0, "BandwidthSet: sps levels must be even and >= 2");
+    BHSS_REQUIRE(sps > prev, "BandwidthSet: sps levels must be ascending");
     prev = sps;
   }
 }

@@ -5,6 +5,7 @@
 #include <numbers>
 #include <stdexcept>
 
+#include "core/contracts.hpp"
 #include "dsp/utils.hpp"
 
 namespace bhss::core {
@@ -31,7 +32,7 @@ dsp::fvec smooth_psd(const dsp::fvec& psd, std::size_t half_width) {
   for (std::size_t k = 0; k < n; ++k) {
     double acc = 0.0;
     for (std::size_t d = 0; d <= 2 * half_width; ++d) {
-      acc += psd[(k + n - half_width + d) % n];
+      acc += static_cast<double>(psd[(k + n - half_width + d) % n]);
     }
     out[k] = static_cast<float>(acc) / width;
   }
@@ -54,8 +55,8 @@ double msk_psd_shape(double f_norm, double sps) noexcept {
 
 ControlLogic::ControlLogic(ControlLogicConfig config, const BandwidthSet& bands)
     : config_(config), bands_(bands) {
-  if (!dsp::Fft::valid_size(config_.psd_fft))
-    throw std::invalid_argument("ControlLogic: psd_fft must be a power of two");
+  BHSS_REQUIRE(dsp::Fft::valid_size(config_.psd_fft),
+               "ControlLogic: psd_fft must be a power of two");
 
   // Pre-compute the low-pass bank, one filter per bandwidth level, exactly
   // as the paper's implementation does ("we pre-compute the taps of all
@@ -189,14 +190,14 @@ FilterDecision ControlLogic::decide(dsp::cspan slice, std::size_t bw_index) cons
   for (std::size_t k = 0; k < n; ++k) {
     const double f = std::abs(bin_freq(k, n));
     if (f <= signal_frac / 2.0) {
-      in_sum += psd[k];
+      in_sum += static_cast<double>(psd[k]);
       ++n_in;
       if (f <= kDetectionCore * signal_frac / 2.0) {
         const auto tmpl = static_cast<float>(std::max(msk_psd_shape(f, sps), 1e-3));
         core.push_back(psd[k] / tmpl);
       }
     } else {
-      out_sum += psd[k];
+      out_sum += static_cast<double>(psd[k]);
       ++n_out;
     }
   }
@@ -216,8 +217,8 @@ FilterDecision ControlLogic::decide(dsp::cspan slice, std::size_t bw_index) cons
   double bottom = 0.0;
   double top = 0.0;
   for (std::size_t i = 0; i < quarter; ++i) {
-    bottom += sorted[i];
-    top += sorted[sorted.size() - 1 - i];
+    bottom += static_cast<double>(sorted[i]);
+    top += static_cast<double>(sorted[sorted.size() - 1 - i]);
   }
   const double in_floor = std::max(bottom / static_cast<double>(quarter), 1e-30);
   const double in_peak = top / static_cast<double>(quarter);

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/contracts.hpp"
 #include "phy/chip_table.hpp"
 
 namespace bhss::core {
@@ -16,10 +17,10 @@ constexpr double kPaperParabolic[7] = {0.271, 0.158, 0.063, 0.001, 0.013, 0.220,
 std::vector<double> normalised(std::vector<double> p) {
   double total = 0.0;
   for (double v : p) {
-    if (v < 0.0) throw std::invalid_argument("HopPattern: negative probability");
+    BHSS_REQUIRE(v >= 0.0, "HopPattern: negative probability");
     total += v;
   }
-  if (total <= 0.0) throw std::invalid_argument("HopPattern: zero distribution");
+  BHSS_REQUIRE(total > 0.0, "HopPattern: zero distribution");
   for (double& v : p) v /= total;
   return p;
 }
@@ -37,8 +38,8 @@ std::string to_string(HopPatternType t) {
 
 HopPattern::HopPattern(BandwidthSet bands, std::vector<double> probs)
     : bands_(std::move(bands)), probs_(std::move(probs)) {
-  if (probs_.size() != bands_.size())
-    throw std::invalid_argument("HopPattern: probability count must match bandwidth count");
+  BHSS_REQUIRE(probs_.size() == bands_.size(),
+               "HopPattern: probability count must match bandwidth count");
 }
 
 HopPattern HopPattern::make(HopPatternType type, const BandwidthSet& bands) {
@@ -74,7 +75,7 @@ HopPattern HopPattern::custom(const BandwidthSet& bands, std::vector<double> pro
 }
 
 HopPattern HopPattern::fixed(const BandwidthSet& bands, std::size_t level) {
-  if (level >= bands.size()) throw std::invalid_argument("HopPattern::fixed: bad level");
+  BHSS_REQUIRE(level < bands.size(), "HopPattern::fixed: bad level");
   std::vector<double> p(bands.size(), 0.0);
   p[level] = 1.0;
   return HopPattern(bands, std::move(p));

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "core/contracts.hpp"
+
 namespace bhss::core {
 
 std::vector<jammer::ObservedHop> HopSchedule::observed_hops(const BandwidthSet& bands,
@@ -16,8 +18,8 @@ std::vector<jammer::ObservedHop> HopSchedule::observed_hops(const BandwidthSet& 
 
 HopSchedule HopSchedule::make(std::size_t total_symbols, std::size_t symbols_per_hop,
                               const HopPattern& pattern, SharedRandom& rng) {
-  if (total_symbols == 0) throw std::invalid_argument("HopSchedule: no symbols");
-  if (symbols_per_hop == 0) throw std::invalid_argument("HopSchedule: symbols_per_hop == 0");
+  BHSS_REQUIRE(total_symbols != 0, "HopSchedule: no symbols");
+  BHSS_REQUIRE(symbols_per_hop != 0, "HopSchedule: symbols_per_hop == 0");
 
   HopSchedule schedule;
   schedule.total_symbols = total_symbols;
@@ -41,7 +43,7 @@ HopSchedule HopSchedule::make(std::size_t total_symbols, std::size_t symbols_per
 
 HopSchedule HopSchedule::fixed(std::size_t total_symbols, const BandwidthSet& bands,
                                std::size_t bw_index) {
-  if (total_symbols == 0) throw std::invalid_argument("HopSchedule: no symbols");
+  BHSS_REQUIRE(total_symbols != 0, "HopSchedule: no symbols");
   HopSchedule schedule;
   schedule.total_symbols = total_symbols;
   HopSegment seg;

@@ -106,7 +106,8 @@ LinkStats run_link(const SimConfig& cfg) {
     link.tail_pad = 64;
     if (cfg.impairments && !genie) {
       link.phase = static_cast<float>((channel_rng.uniform() * 2.0 - 1.0) * std::numbers::pi);
-      link.cfo = static_cast<float>((channel_rng.uniform() * 2.0 - 1.0) * cfg.max_cfo);
+      link.cfo = static_cast<float>((channel_rng.uniform() * 2.0 - 1.0) *
+                                    static_cast<double>(cfg.max_cfo));
     }
 
     const std::size_t total_len = link.tx_delay + t.samples.size() + link.tail_pad;

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/contracts.hpp"
 #include "core/transmitter.hpp"
+#include "dsp/utils.hpp"
 #include "phy/frame.hpp"
 #include "phy/modulator.hpp"
 #include "phy/spreader.hpp"
@@ -15,6 +17,14 @@ BhssReceiver::BhssReceiver(SystemConfig config)
     : config_(std::move(config)), logic_(config_.logic, config_.pattern.bands()) {}
 
 FilterDecision BhssReceiver::choose_filter(dsp::cspan slice, std::size_t bw_index) const {
+  // A NaN/Inf sample reaching the PSD estimator poisons the whole filter
+  // decision (every Welch bin becomes NaN, eq. (3) taps become NaN, and
+  // the frame decodes to uniformly random symbols) without any error
+  // surfacing — reject it at the boundary instead.
+  BHSS_REQUIRE(dsp::all_finite(slice),
+               "BhssReceiver: non-finite samples at the filter-selection boundary");
+  BHSS_REQUIRE(bw_index < config_.pattern.bands().size(),
+               "BhssReceiver: bandwidth index outside the hop pattern's band set");
   switch (config_.filter_policy) {
     case FilterPolicy::adaptive:
       return logic_.decide(slice, bw_index);
@@ -57,6 +67,8 @@ dsp::cvec BhssReceiver::filtered_slice(dsp::cspan buffer, std::size_t a0, std::s
   for (std::size_t i = 0; i < needed; ++i) {
     out[i] = filtered[lead + decision.group_delay + i];
   }
+  BHSS_ENSURE(dsp::all_finite(dsp::cspan{out}),
+              "BhssReceiver: suppression filter produced non-finite samples");
   return out;
 }
 

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/contracts.hpp"
+
 namespace bhss::core::theory {
 namespace {
 
@@ -32,13 +34,13 @@ TapSums tap_sums(dsp::cspan taps, dsp::fspan rho_j) {
       k0 = l;
     }
   }
-  s.self_noise = s.all_taps - std::norm(taps[k0]);
+  s.self_noise = s.all_taps - static_cast<double>(std::norm(taps[k0]));
   for (std::size_t l = 0; l < k; ++l) {
     for (std::size_t m = 0; m < k; ++m) {
       const std::size_t lag = (l >= m) ? l - m : m - l;
       if (lag >= rho_j.size()) continue;
       // h complex in general; the quadratic form uses Re{h(l) conj(h(m))}.
-      s.residual_jam += (taps[l] * std::conj(taps[m])).real() * rho_j[lag];
+      s.residual_jam += static_cast<double>((taps[l] * std::conj(taps[m])).real() * rho_j[lag]);
     }
   }
   return s;
@@ -47,17 +49,16 @@ TapSums tap_sums(dsp::cspan taps, dsp::fspan rho_j) {
 }  // namespace
 
 double output_snr_unfiltered(double processing_gain, double jammer_power, double noise_var) {
-  if (processing_gain <= 0.0) throw std::invalid_argument("output_snr: L must be > 0");
+  BHSS_REQUIRE(processing_gain > 0.0, "output_snr: L must be > 0");
   return processing_gain / (jammer_power + noise_var);
 }
 
 double output_snr_filtered(double processing_gain, dsp::cspan taps, dsp::fspan rho_j,
                            double noise_var) {
-  if (taps.empty()) throw std::invalid_argument("output_snr_filtered: empty taps");
-  if (rho_j.empty()) throw std::invalid_argument("output_snr_filtered: empty autocorrelation");
+  BHSS_REQUIRE(!taps.empty(), "output_snr_filtered: empty taps");
+  BHSS_REQUIRE(!rho_j.empty(), "output_snr_filtered: empty autocorrelation");
   const TapSums s = tap_sums(taps, rho_j);
-  if (s.reference <= 0.0)
-    throw std::invalid_argument("output_snr_filtered: all-zero taps");
+  BHSS_REQUIRE(s.reference > 0.0, "output_snr_filtered: all-zero taps");
   // Eq. (6), normalised by the reference tap gain so the desired-signal
   // term stays L.
   const double denom =
@@ -67,12 +68,13 @@ double output_snr_filtered(double processing_gain, dsp::cspan taps, dsp::fspan r
 
 double snr_improvement_numeric(dsp::cspan taps, dsp::fspan rho_j, double noise_var) {
   const double with = output_snr_filtered(1.0, taps, rho_j, noise_var);
-  const double without = output_snr_unfiltered(1.0, rho_j.empty() ? 0.0 : rho_j[0], noise_var);
+  const double without =
+      output_snr_unfiltered(1.0, rho_j.empty() ? 0.0 : static_cast<double>(rho_j[0]), noise_var);
   return with / without;
 }
 
 double snr_improvement_bound(double bp_over_bj, double jammer_power, double noise_var) {
-  if (bp_over_bj <= 0.0) throw std::invalid_argument("snr_improvement_bound: ratio must be > 0");
+  BHSS_REQUIRE(bp_over_bj > 0.0, "snr_improvement_bound: ratio must be > 0");
   const double rho = jammer_power;
   const double s2 = noise_var;
   if (bp_over_bj >= 1.0) {
@@ -111,20 +113,19 @@ BhssModel::BhssModel(std::vector<double> hop_bandwidths, std::vector<double> hop
       probs_(std::move(hop_probs)),
       l_(processing_gain),
       rho_(jammer_power) {
-  if (bw_.empty() || bw_.size() != probs_.size())
-    throw std::invalid_argument("BhssModel: bandwidths/probabilities size mismatch");
+  BHSS_REQUIRE(!bw_.empty() && bw_.size() == probs_.size(),
+               "BhssModel: bandwidths/probabilities size mismatch");
   const double max_bw = *std::max_element(bw_.begin(), bw_.end());
-  if (std::abs(max_bw - 1.0) > 1e-9)
-    throw std::invalid_argument("BhssModel: bandwidths must be normalised to max 1");
+  BHSS_REQUIRE(std::abs(max_bw - 1.0) <= 1e-9, "BhssModel: bandwidths must be normalised to max 1");
   double total = 0.0;
   for (double p : probs_) total += p;
-  if (total <= 0.0) throw std::invalid_argument("BhssModel: zero distribution");
+  BHSS_REQUIRE(total > 0.0, "BhssModel: zero distribution");
   for (double& p : probs_) p /= total;
 }
 
 BhssModel BhssModel::log_uniform(double range, std::size_t levels, double processing_gain,
                                  double jammer_power) {
-  if (range < 1.0 || levels < 2) throw std::invalid_argument("log_uniform: bad range/levels");
+  BHSS_REQUIRE(range >= 1.0 && levels >= 2, "log_uniform: bad range/levels");
   std::vector<double> bw(levels);
   std::vector<double> probs(levels, 1.0);
   for (std::size_t k = 0; k < levels; ++k) {
@@ -134,7 +135,7 @@ BhssModel BhssModel::log_uniform(double range, std::size_t levels, double proces
 }
 
 double BhssModel::noise_var_for_ebno(double ebno_linear) const {
-  if (ebno_linear <= 0.0) throw std::invalid_argument("noise_var_for_ebno: Eb/N0 must be > 0");
+  BHSS_REQUIRE(ebno_linear > 0.0, "noise_var_for_ebno: Eb/N0 must be > 0");
   return l_ / (2.0 * ebno_linear);
 }
 

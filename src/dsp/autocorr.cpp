@@ -2,12 +2,13 @@
 
 #include <stdexcept>
 
+#include "core/contracts.hpp"
 #include "dsp/utils.hpp"
 
 namespace bhss::dsp {
 
 fvec autocorrelation(cspan x, std::size_t max_lag) {
-  if (x.empty()) throw std::invalid_argument("autocorrelation: empty input");
+  BHSS_REQUIRE(!x.empty(), "autocorrelation: empty input");
   fvec rho(max_lag + 1, 0.0F);
   const double n = static_cast<double>(x.size());
   for (std::size_t k = 0; k <= max_lag && k < x.size(); ++k) {
@@ -21,8 +22,8 @@ fvec autocorrelation(cspan x, std::size_t max_lag) {
 }
 
 fvec bandlimited_noise_autocorr(double power, double bandwidth, std::size_t max_lag) {
-  if (bandwidth <= 0.0 || bandwidth > 1.0)
-    throw std::invalid_argument("bandlimited_noise_autocorr: bandwidth must be in (0, 1]");
+  BHSS_REQUIRE(bandwidth > 0.0 && bandwidth <= 1.0,
+               "bandlimited_noise_autocorr: bandwidth must be in (0, 1]");
   fvec rho(max_lag + 1);
   for (std::size_t k = 0; k <= max_lag; ++k) {
     rho[k] = static_cast<float>(power * sinc(bandwidth * static_cast<double>(k)));

@@ -1,9 +1,9 @@
 #include "dsp/fft.hpp"
 
-#include <cassert>
 #include <cmath>
 #include <numbers>
-#include <stdexcept>
+
+#include "core/contracts.hpp"
 
 namespace bhss::dsp {
 
@@ -12,7 +12,7 @@ bool Fft::valid_size(std::size_t n) noexcept {
 }
 
 Fft::Fft(std::size_t n) : n_(n) {
-  if (!valid_size(n)) throw std::invalid_argument("Fft: size must be a power of two >= 2");
+  BHSS_REQUIRE(valid_size(n), "Fft: size must be a power of two >= 2");
 
   // Bit-reversal permutation table.
   bitrev_.resize(n_);
@@ -35,7 +35,7 @@ Fft::Fft(std::size_t n) : n_(n) {
 }
 
 void Fft::transform(cspan_mut x, bool inverse) const {
-  assert(x.size() == n_);
+  BHSS_REQUIRE(x.size() == n_, "Fft: buffer length must equal the transform size");
   for (std::size_t i = 0; i < n_; ++i) {
     const std::size_t j = bitrev_[i];
     if (i < j) std::swap(x[i], x[j]);
@@ -65,6 +65,7 @@ void Fft::forward(cspan_mut x) const { transform(x, false); }
 void Fft::inverse(cspan_mut x) const { transform(x, true); }
 
 cvec Fft::forward_copy(cspan x) const {
+  BHSS_REQUIRE(x.size() <= n_, "Fft::forward_copy: input longer than the transform size");
   cvec out(x.begin(), x.end());
   out.resize(n_, cf{0.0F, 0.0F});
   forward(cspan_mut{out});

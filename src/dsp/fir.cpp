@@ -1,11 +1,10 @@
 #include "dsp/fir.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <numbers>
-#include <stdexcept>
 
+#include "core/contracts.hpp"
 #include "dsp/utils.hpp"
 
 namespace bhss::dsp {
@@ -13,7 +12,8 @@ namespace bhss::dsp {
 // ---------------------------------------------------------------- FirFilter
 
 FirFilter::FirFilter(cvec taps) : taps_(std::move(taps)), head_(0) {
-  if (taps_.empty()) throw std::invalid_argument("FirFilter: taps must be non-empty");
+  BHSS_REQUIRE(!taps_.empty(), "FirFilter: taps must be non-empty");
+  BHSS_REQUIRE(all_finite(cspan{taps_}), "FirFilter: taps must be finite");
   history_.assign(taps_.size(), cf{0.0F, 0.0F});
 }
 
@@ -60,7 +60,8 @@ FftConvolver::FftConvolver(cspan taps)
       fft_size_(next_pow2(std::max<std::size_t>(4 * taps.size(), 1024))),
       block_size_(fft_size_ - num_taps_ + 1),
       fft_(fft_size_) {
-  if (taps.empty()) throw std::invalid_argument("FftConvolver: taps must be non-empty");
+  BHSS_REQUIRE(!taps.empty(), "FftConvolver: taps must be non-empty");
+  BHSS_REQUIRE(all_finite(taps), "FftConvolver: taps must be finite");
   taps_spectrum_ = fft_.forward_copy(taps);
 }
 
@@ -90,28 +91,28 @@ cvec FftConvolver::filter(cspan x) const {
 // ------------------------------------------------------------ filter design
 
 fvec design_lowpass(std::size_t num_taps, double cutoff, Window window) {
-  if (num_taps == 0) throw std::invalid_argument("design_lowpass: num_taps must be > 0");
-  if (cutoff <= 0.0 || cutoff >= 0.5)
-    throw std::invalid_argument("design_lowpass: cutoff must be in (0, 0.5)");
+  BHSS_REQUIRE(num_taps > 0, "design_lowpass: num_taps must be > 0");
+  BHSS_REQUIRE(cutoff > 0.0 && cutoff < 0.5, "design_lowpass: cutoff must be in (0, 0.5)");
   const fvec w = make_window(window, num_taps);
   fvec taps(num_taps);
   const double mid = (static_cast<double>(num_taps) - 1.0) / 2.0;
   double dc_gain = 0.0;
   for (std::size_t i = 0; i < num_taps; ++i) {
     const double t = static_cast<double>(i) - mid;
-    taps[i] = static_cast<float>(2.0 * cutoff * sinc(2.0 * cutoff * t) * w[i]);
-    dc_gain += taps[i];
+    taps[i] = static_cast<float>(2.0 * cutoff * sinc(2.0 * cutoff * t) * static_cast<double>(w[i]));
+    dc_gain += static_cast<double>(taps[i]);
   }
   // Normalise to unity DC gain so the passband is undistorted.
   if (dc_gain != 0.0) {
-    for (float& t : taps) t = static_cast<float>(t / dc_gain);
+    for (float& t : taps) t = static_cast<float>(static_cast<double>(t) / dc_gain);
   }
+  BHSS_ENSURE(all_finite(fspan{taps}), "design_lowpass: produced non-finite taps");
   return taps;
 }
 
 std::size_t lowpass_num_taps(double transition_width, double atten_db, std::size_t max_taps) {
-  if (transition_width <= 0.0 || transition_width >= 0.5)
-    throw std::invalid_argument("lowpass_num_taps: transition width must be in (0, 0.5)");
+  BHSS_REQUIRE(transition_width > 0.0 && transition_width < 0.5,
+               "lowpass_num_taps: transition width must be in (0, 0.5)");
   // Kaiser's empirical formula: N ~= (A - 7.95) / (2.285 * 2*pi*df).
   const double a = std::max(atten_db, 9.0);
   const double n = (a - 7.95) / (2.285 * 2.0 * std::numbers::pi * transition_width);
@@ -122,12 +123,13 @@ std::size_t lowpass_num_taps(double transition_width, double atten_db, std::size
 
 cvec design_excision_whitening(fspan psd, double floor_rel, double passband_frac) {
   const std::size_t k_taps = psd.size();
-  if (!Fft::valid_size(k_taps))
-    throw std::invalid_argument("design_excision_whitening: psd size must be a power of two");
-  if (passband_frac <= 0.0 || passband_frac > 1.0)
-    throw std::invalid_argument("design_excision_whitening: passband_frac must be in (0, 1]");
+  BHSS_REQUIRE(Fft::valid_size(k_taps),
+               "design_excision_whitening: psd size must be a power of two");
+  BHSS_REQUIRE(passband_frac > 0.0 && passband_frac <= 1.0,
+               "design_excision_whitening: passband_frac must be in (0, 1]");
+  BHSS_REQUIRE(all_finite(psd), "design_excision_whitening: psd must be finite");
   const float max_p = *std::max_element(psd.begin(), psd.end());
-  if (max_p <= 0.0F) throw std::invalid_argument("design_excision_whitening: psd is all zero");
+  BHSS_REQUIRE(max_p > 0.0F, "design_excision_whitening: psd is all zero");
   const double floor = static_cast<double>(max_p) * floor_rel;
 
   // Frequency of bin k in cycles/sample, wrapped into [-0.5, 0.5).
@@ -168,6 +170,7 @@ cvec design_excision_whitening(fspan psd, double floor_rel, double passband_frac
   // Taps are the inverse DFT of the sampled response.
   Fft fft(k_taps);
   fft.inverse(cspan_mut{h_spec});
+  BHSS_ENSURE(all_finite(cspan{h_spec}), "design_excision_whitening: produced non-finite taps");
   return h_spec;
 }
 

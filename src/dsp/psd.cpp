@@ -2,18 +2,17 @@
 
 #include <algorithm>
 #include <cmath>
-#include <stdexcept>
 
+#include "core/contracts.hpp"
 #include "dsp/fft.hpp"
+#include "dsp/utils.hpp"
 
 namespace bhss::dsp {
 
 fvec welch_psd(cspan x, std::size_t fft_size, double overlap, Window window) {
-  if (!Fft::valid_size(fft_size))
-    throw std::invalid_argument("welch_psd: fft_size must be a power of two >= 2");
-  if (overlap < 0.0 || overlap > 0.95)
-    throw std::invalid_argument("welch_psd: overlap must be in [0, 0.95]");
-  if (x.empty()) throw std::invalid_argument("welch_psd: empty input");
+  BHSS_REQUIRE(Fft::valid_size(fft_size), "welch_psd: fft_size must be a power of two >= 2");
+  BHSS_REQUIRE(overlap >= 0.0 && overlap <= 0.95, "welch_psd: overlap must be in [0, 0.95]");
+  BHSS_REQUIRE(!x.empty(), "welch_psd: empty input");
 
   const fvec w = make_window(window, fft_size);
   const double w_power = window_power(w);
@@ -50,6 +49,7 @@ fvec welch_psd(cspan x, std::size_t fft_size, double overlap, Window window) {
   const auto norm = static_cast<float>(
       1.0 / (static_cast<double>(n_segments) * static_cast<double>(fft_size) * w_power));
   for (float& p : psd) p *= norm;
+  BHSS_ENSURE(all_finite(fspan{psd}), "welch_psd: produced non-finite PSD bins");
   return psd;
 }
 
@@ -64,26 +64,27 @@ fvec periodogram(cspan x, std::size_t fft_size) {
 
 double psd_total_power(fspan psd) noexcept {
   double acc = 0.0;
-  for (float p : psd) acc += p;
+  for (float p : psd) acc += static_cast<double>(p);
   return acc;
 }
 
 double occupied_bandwidth(fspan psd, double fraction) {
   const std::size_t n = psd.size();
-  if (n == 0) throw std::invalid_argument("occupied_bandwidth: empty psd");
+  BHSS_REQUIRE(n > 0, "occupied_bandwidth: empty psd");
+  BHSS_REQUIRE(fraction > 0.0 && fraction <= 1.0, "occupied_bandwidth: fraction must be in (0, 1]");
   const double total = psd_total_power(psd);
   if (total <= 0.0) return 1.0;
 
   // Grow a symmetric band around DC (bin 0) until it holds `fraction` of
   // the power. Natural FFT order: positive freqs are bins 1..n/2, negative
   // freqs are bins n-1 downward.
-  double acc = psd[0];
+  double acc = static_cast<double>(psd[0]);
   std::size_t half_width = 0;  // bins on each side of DC
   const std::size_t max_half = n / 2;
   while (acc < fraction * total && half_width < max_half) {
     ++half_width;
-    acc += psd[half_width];
-    if (half_width < n - half_width) acc += psd[n - half_width];
+    acc += static_cast<double>(psd[half_width]);
+    if (half_width < n - half_width) acc += static_cast<double>(psd[n - half_width]);
   }
   const double bins_used = 1.0 + 2.0 * static_cast<double>(half_width);
   return std::min(1.0, bins_used / static_cast<double>(n));

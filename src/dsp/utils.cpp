@@ -36,4 +36,18 @@ void scale_to_power(cspan_mut x, double target_power) noexcept {
   for (cf& s : x) s *= gain;
 }
 
+bool all_finite(cspan x) noexcept {
+  for (const cf& s : x) {
+    if (!std::isfinite(s.real()) || !std::isfinite(s.imag())) return false;
+  }
+  return true;
+}
+
+bool all_finite(fspan x) noexcept {
+  for (float v : x) {
+    if (!std::isfinite(v)) return false;
+  }
+  return true;
+}
+
 }  // namespace bhss::dsp

@@ -26,4 +26,12 @@ namespace bhss::dsp {
 /// A silent (all-zero) buffer is left untouched.
 void scale_to_power(cspan_mut x, double target_power) noexcept;
 
+/// True iff every sample in `x` is finite on both rails. Used by the
+/// contract guards at the receiver/channel boundaries: one NaN entering
+/// the filter-selection path silently corrupts whole BER curves.
+[[nodiscard]] bool all_finite(cspan x) noexcept;
+
+/// True iff every value in `x` is finite.
+[[nodiscard]] bool all_finite(fspan x) noexcept;
+
 }  // namespace bhss::dsp

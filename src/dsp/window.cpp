@@ -63,7 +63,7 @@ fvec make_window(Window type, std::size_t n, double kaiser_beta) {
 
 double window_power(fspan w) noexcept {
   double acc = 0.0;
-  for (float v : w) acc += static_cast<double>(v) * v;
+  for (float v : w) acc += static_cast<double>(v) * static_cast<double>(v);
   return acc;
 }
 

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "core/contracts.hpp"
+
 namespace bhss::jammer {
 
 HoppingJammer::HoppingJammer(std::vector<double> bandwidth_fracs,
@@ -11,9 +13,9 @@ HoppingJammer::HoppingJammer(std::vector<double> bandwidth_fracs,
       dwell_samples_(dwell_samples),
       rng_(seed),
       pick_(probabilities.begin(), probabilities.end()) {
-  if (bandwidth_fracs_.empty() || bandwidth_fracs_.size() != probabilities.size())
-    throw std::invalid_argument("HoppingJammer: bandwidths/probabilities size mismatch");
-  if (dwell_samples_ == 0) throw std::invalid_argument("HoppingJammer: dwell must be > 0");
+  BHSS_REQUIRE(!bandwidth_fracs_.empty() && bandwidth_fracs_.size() == probabilities.size(),
+               "HoppingJammer: bandwidths/probabilities size mismatch");
+  BHSS_REQUIRE(dwell_samples_ != 0, "HoppingJammer: dwell must be > 0");
   sources_.reserve(bandwidth_fracs_.size());
   for (std::size_t i = 0; i < bandwidth_fracs_.size(); ++i) {
     sources_.emplace_back(bandwidth_fracs_[i], seed * 0x9E3779B97F4A7C15ULL + i + 1);

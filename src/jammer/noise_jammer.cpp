@@ -2,14 +2,15 @@
 
 #include <stdexcept>
 
+#include "core/contracts.hpp"
 #include "dsp/utils.hpp"
 
 namespace bhss::jammer {
 
 NoiseJammer::NoiseJammer(double bandwidth_frac, std::uint64_t seed, std::size_t num_taps)
     : bandwidth_frac_(bandwidth_frac), noise_(seed) {
-  if (bandwidth_frac <= 0.0 || bandwidth_frac > 1.0)
-    throw std::invalid_argument("NoiseJammer: bandwidth_frac must be in (0, 1]");
+  BHSS_REQUIRE(bandwidth_frac > 0.0 && bandwidth_frac <= 1.0,
+               "NoiseJammer: bandwidth_frac must be in (0, 1]");
   if (bandwidth_frac < 1.0) {
     // Low-pass at half the two-sided bandwidth; complex baseband noise then
     // occupies [-bw/2, +bw/2].

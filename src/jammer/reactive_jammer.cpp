@@ -4,13 +4,14 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/contracts.hpp"
+
 namespace bhss::jammer {
 
 ReactiveJammer::ReactiveJammer(std::vector<double> available_bws, std::size_t reaction_delay,
                                std::uint64_t seed)
     : available_bws_(std::move(available_bws)), reaction_delay_(reaction_delay) {
-  if (available_bws_.empty())
-    throw std::invalid_argument("ReactiveJammer: need at least one bandwidth");
+  BHSS_REQUIRE(!available_bws_.empty(), "ReactiveJammer: need at least one bandwidth");
   sources_.reserve(available_bws_.size());
   for (std::size_t i = 0; i < available_bws_.size(); ++i) {
     sources_.emplace_back(available_bws_[i], seed * 0xD1B54A32D192ED03ULL + i + 1);

@@ -2,18 +2,18 @@
 
 #include <cmath>
 #include <numbers>
+#include <random>
 #include <stdexcept>
 
-#include <random>
+#include "core/contracts.hpp"
 
 namespace bhss::jammer {
 
 ToneJammer::ToneJammer(std::vector<double> freqs, std::uint64_t seed)
     : freqs_(std::move(freqs)) {
-  if (freqs_.empty()) throw std::invalid_argument("ToneJammer: need at least one tone");
+  BHSS_REQUIRE(!freqs_.empty(), "ToneJammer: need at least one tone");
   for (double f : freqs_) {
-    if (f <= -0.5 || f >= 0.5)
-      throw std::invalid_argument("ToneJammer: frequency must be in (-0.5, 0.5)");
+    BHSS_REQUIRE(f > -0.5 && f < 0.5, "ToneJammer: frequency must be in (-0.5, 0.5)");
   }
   std::mt19937_64 rng(seed);
   std::uniform_real_distribution<double> uniform(0.0, 1.0);
@@ -42,9 +42,9 @@ dsp::cvec ToneJammer::generate(std::size_t n) {
 SweptJammer::SweptJammer(double f_lo, double f_hi, std::size_t sweep_samples,
                          std::uint64_t seed)
     : f_lo_(f_lo), f_hi_(f_hi) {
-  if (f_lo >= f_hi || f_lo <= -0.5 || f_hi >= 0.5)
-    throw std::invalid_argument("SweptJammer: need -0.5 < f_lo < f_hi < 0.5");
-  if (sweep_samples == 0) throw std::invalid_argument("SweptJammer: sweep must be > 0");
+  BHSS_REQUIRE(f_lo < f_hi && f_lo > -0.5 && f_hi < 0.5,
+               "SweptJammer: need -0.5 < f_lo < f_hi < 0.5");
+  BHSS_REQUIRE(sweep_samples != 0, "SweptJammer: sweep must be > 0");
   rate_ = (f_hi - f_lo) / static_cast<double>(sweep_samples);
   std::mt19937_64 rng(seed);
   std::uniform_real_distribution<double> uniform(0.0, 1.0);

@@ -4,7 +4,7 @@ namespace bhss::phy {
 
 std::uint16_t crc16_ccitt_update(std::uint16_t crc, std::span<const std::uint8_t> data) noexcept {
   for (std::uint8_t byte : data) {
-    crc ^= static_cast<std::uint16_t>(byte) << 8;
+    crc ^= static_cast<std::uint16_t>(static_cast<unsigned>(byte) << 8);
     for (int bit = 0; bit < 8; ++bit) {
       if (crc & 0x8000U) {
         crc = static_cast<std::uint16_t>((crc << 1) ^ 0x1021U);

@@ -2,14 +2,14 @@
 
 #include <stdexcept>
 
+#include "core/contracts.hpp"
 #include "phy/crc16.hpp"
 #include "phy/spreader.hpp"
 
 namespace bhss::phy {
 
 std::vector<std::uint8_t> build_frame_symbols(std::span<const std::uint8_t> payload) {
-  if (payload.size() > FrameSpec::max_payload)
-    throw std::invalid_argument("build_frame_symbols: payload too long");
+  BHSS_REQUIRE(payload.size() <= FrameSpec::max_payload, "build_frame_symbols: payload too long");
 
   std::vector<std::uint8_t> bytes;
   bytes.reserve(4 + 1 + 1 + payload.size() + 2);

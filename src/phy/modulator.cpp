@@ -1,21 +1,23 @@
 #include "phy/modulator.hpp"
 
-#include <stdexcept>
-
+#include "core/contracts.hpp"
 #include "dsp/fir.hpp"
 #include "dsp/pulse.hpp"
+#include "dsp/utils.hpp"
 
 namespace bhss::phy {
 
 QpskModulator::QpskModulator(std::size_t samples_per_chip)
     : sps_(samples_per_chip), pulse_(dsp::half_sine_pulse(2 * samples_per_chip)) {
-  if (sps_ < 2 || sps_ % 2 != 0)
-    throw std::invalid_argument("QpskModulator: samples_per_chip must be even and >= 2");
+  BHSS_REQUIRE(sps_ >= 2 && sps_ % 2 == 0,
+               "QpskModulator: samples_per_chip must be even and >= 2");
+  // The half-sine pulse spans exactly one chip pair; its sample count must
+  // match or the rail mapping below misaligns chips and pulses.
+  BHSS_ENSURE(pulse_.size() == 2 * sps_, "QpskModulator: pulse length must be 2 * sps");
 }
 
 dsp::cvec QpskModulator::modulate(std::span<const float> chips) const {
-  if (chips.size() % 2 != 0)
-    throw std::invalid_argument("QpskModulator: chip count must be even");
+  BHSS_REQUIRE(chips.size() % 2 == 0, "QpskModulator: chip count must be even");
   const std::size_t n_pairs = chips.size() / 2;
   dsp::cvec out(chips.size() * sps_, dsp::cf{0.0F, 0.0F});
   const std::size_t pulse_len = pulse_.size();  // == 2 * sps_
@@ -32,15 +34,19 @@ dsp::cvec QpskModulator::modulate(std::span<const float> chips) const {
 
 QpskDemodulator::QpskDemodulator(std::size_t samples_per_chip)
     : sps_(samples_per_chip), matched_(dsp::half_sine_matched(2 * samples_per_chip)) {
-  if (sps_ < 2 || sps_ % 2 != 0)
-    throw std::invalid_argument("QpskDemodulator: samples_per_chip must be even and >= 2");
+  BHSS_REQUIRE(sps_ >= 2 && sps_ % 2 == 0,
+               "QpskDemodulator: samples_per_chip must be even and >= 2");
+  // The matched filter is normalised so a clean unit pulse correlates to
+  // ~1 at the sampling instant; a non-finite or empty tap set here would
+  // silently zero every soft chip downstream.
+  BHSS_ENSURE(!matched_.empty() && dsp::all_finite(dsp::fspan{matched_}),
+              "QpskDemodulator: matched filter taps must be finite");
 }
 
 dsp::cvec QpskDemodulator::demodulate_pairs(dsp::cspan samples, std::size_t n_chips) const {
-  if (n_chips % 2 != 0)
-    throw std::invalid_argument("QpskDemodulator: chip count must be even");
-  if (samples.size() < samples_needed(n_chips))
-    throw std::invalid_argument("QpskDemodulator: not enough samples for requested chips");
+  BHSS_REQUIRE(n_chips % 2 == 0, "QpskDemodulator: chip count must be even");
+  BHSS_REQUIRE(samples.size() >= samples_needed(n_chips),
+               "QpskDemodulator: not enough samples for requested chips");
 
   // Matched-filter the segment and sample both rails at the end of each
   // chip pair (the matched-filter peak of non-overlapping pulses).

@@ -2,15 +2,22 @@
 
 #include <limits>
 #include <numbers>
-#include <stdexcept>
+
+#include "core/contracts.hpp"
 
 namespace bhss::phy {
+
+// The despreader's processing gain and the pair-wise QPSK mapping both
+// rely on the chip geometry being a power of two; guard it once here.
+static_assert((kChipsPerSymbol & (kChipsPerSymbol - 1)) == 0,
+              "kChipsPerSymbol must be a power of two");
+static_assert((kNumSymbols & (kNumSymbols - 1)) == 0, "kNumSymbols must be a power of two");
 
 Spreader::Spreader(std::uint32_t scrambler_seed)
     : scrambling_(scrambler_seed != 0), pn_(scrambler_seed) {}
 
 void Spreader::spread_symbol(std::uint8_t symbol, std::vector<float>& out) {
-  if (symbol >= kNumSymbols) throw std::invalid_argument("spread_symbol: symbol must be 0..15");
+  BHSS_REQUIRE(symbol < kNumSymbols, "spread_symbol: symbol must be 0..15");
   const ChipSequence& row = ChipTable::instance().sequence(symbol);
   for (std::size_t c = 0; c < kChipsPerSymbol; ++c) {
     const float s = scrambling_ ? pn_.next_chip() : 1.0F;
@@ -29,8 +36,7 @@ Despreader::Despreader(std::uint32_t scrambler_seed)
     : scrambling_(scrambler_seed != 0), pn_(scrambler_seed) {}
 
 DespreadResult Despreader::despread_symbol(std::span<const float> soft_chips) {
-  if (soft_chips.size() != kChipsPerSymbol)
-    throw std::invalid_argument("despread_symbol: need exactly 32 soft chips");
+  BHSS_REQUIRE(soft_chips.size() == kChipsPerSymbol, "despread_symbol: need exactly 32 soft chips");
 
   // Undo the scrambler once, then correlate with every candidate row.
   std::array<float, kChipsPerSymbol> descrambled{};
@@ -59,8 +65,7 @@ DespreadResult Despreader::despread_symbol(std::span<const float> soft_chips) {
 }
 
 DespreadPairsResult Despreader::despread_pairs(dsp::cspan pairs) {
-  if (pairs.size() != kChipsPerSymbol / 2)
-    throw std::invalid_argument("despread_pairs: need exactly 16 chip pairs");
+  BHSS_REQUIRE(pairs.size() == kChipsPerSymbol / 2, "despread_pairs: need exactly 16 chip pairs");
 
   // Fold the scrambler into the reference rather than "descrambling" the
   // received rails: a carrier rotation mixes the I and Q rails, so
@@ -74,7 +79,7 @@ DespreadPairsResult Despreader::despread_pairs(dsp::cspan pairs) {
   for (std::size_t m = 0; m < pairs.size(); ++m) {
     se[m] = scrambling_ ? pn_.next_chip() : 1.0F;
     so[m] = scrambling_ ? pn_.next_chip() : 1.0F;
-    max_corr += std::abs(pairs[m]) * std::numbers::sqrt2_v<float>;
+    max_corr += static_cast<double>(std::abs(pairs[m])) * std::numbers::sqrt2;
   }
 
   DespreadPairsResult result;
@@ -95,7 +100,8 @@ DespreadPairsResult Despreader::despread_pairs(dsp::cspan pairs) {
     }
   }
   if (max_corr > 0.0) {
-    result.coherence = static_cast<float>(std::abs(result.correlation) / max_corr);
+    result.coherence =
+        static_cast<float>(static_cast<double>(std::abs(result.correlation)) / max_corr);
   }
   return result;
 }
@@ -111,8 +117,7 @@ std::vector<std::uint8_t> bytes_to_symbols(std::span<const std::uint8_t> bytes) 
 }
 
 std::vector<std::uint8_t> symbols_to_bytes(std::span<const std::uint8_t> symbols) {
-  if (symbols.size() % 2 != 0)
-    throw std::invalid_argument("symbols_to_bytes: need an even number of symbols");
+  BHSS_REQUIRE(symbols.size() % 2 == 0, "symbols_to_bytes: need an even number of symbols");
   std::vector<std::uint8_t> bytes;
   bytes.reserve(symbols.size() / 2);
   for (std::size_t i = 0; i + 1 < symbols.size(); i += 2) {

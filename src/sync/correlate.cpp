@@ -3,21 +3,21 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/contracts.hpp"
 #include "dsp/utils.hpp"
 
 namespace bhss::sync {
 
 dsp::cf correlate_at(dsp::cspan x, dsp::cspan ref, std::size_t lag) {
-  if (lag + ref.size() > x.size())
-    throw std::invalid_argument("correlate_at: reference does not fit at this lag");
+  BHSS_REQUIRE(lag + ref.size() <= x.size(), "correlate_at: reference does not fit at this lag");
   dsp::cf acc{0.0F, 0.0F};
   for (std::size_t k = 0; k < ref.size(); ++k) acc += x[lag + k] * std::conj(ref[k]);
   return acc;
 }
 
 CorrelationPeak correlate_search(dsp::cspan x, dsp::cspan ref, std::size_t max_lag) {
-  if (ref.empty() || x.size() < ref.size())
-    throw std::invalid_argument("correlate_search: reference longer than signal");
+  BHSS_REQUIRE(!ref.empty() && x.size() >= ref.size(),
+               "correlate_search: reference longer than signal");
   const std::size_t last_lag = std::min(max_lag, x.size() - ref.size());
   const double ref_energy = dsp::energy(ref);
 
@@ -28,14 +28,15 @@ CorrelationPeak correlate_search(dsp::cspan x, dsp::cspan ref, std::size_t max_l
   for (std::size_t lag = 0; lag <= last_lag; ++lag) {
     const dsp::cf c = correlate_at(x, ref, lag);
     const double denom = std::sqrt(std::max(ref_energy * win_energy, 1e-30));
-    const float norm = static_cast<float>(std::abs(c) / denom);
+    const float norm = static_cast<float>(static_cast<double>(std::abs(c)) / denom);
     if (norm > best.normalized) {
       best.normalized = norm;
       best.value = c;
       best.offset = lag;
     }
     if (lag + ref.size() < x.size()) {
-      win_energy += std::norm(x[lag + ref.size()]) - std::norm(x[lag]);
+      win_energy += static_cast<double>(std::norm(x[lag + ref.size()])) -
+                    static_cast<double>(std::norm(x[lag]));
       win_energy = std::max(win_energy, 0.0);
     }
   }

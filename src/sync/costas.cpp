@@ -4,6 +4,8 @@
 #include <cmath>
 #include <numbers>
 
+#include "core/contracts.hpp"
+
 namespace bhss::sync {
 namespace {
 
@@ -18,10 +20,20 @@ float wrap_phase(float phi) noexcept {
 
 CostasLoop::CostasLoop(float loop_bandwidth, float damping, float max_freq)
     : max_freq_(max_freq) {
+  // A loop bandwidth outside (0, 1) rad/sample or a non-positive damping
+  // factor yields gains that either never pull in or oscillate — both
+  // look like "jamming wins" in BER sweeps while actually being a
+  // receiver misconfiguration.
+  BHSS_REQUIRE(loop_bandwidth > 0.0F && loop_bandwidth < 1.0F,
+               "CostasLoop: loop_bandwidth must be in (0, 1) rad/sample");
+  BHSS_REQUIRE(damping > 0.0F, "CostasLoop: damping must be > 0");
+  BHSS_REQUIRE(max_freq > 0.0F && max_freq <= std::numbers::pi_v<float>,
+               "CostasLoop: max_freq must be in (0, pi] rad/sample");
   // Standard 2nd-order loop gain mapping (Rice, "Digital Communications").
   const float denom = 1.0F + 2.0F * damping * loop_bandwidth + loop_bandwidth * loop_bandwidth;
   alpha_ = (4.0F * damping * loop_bandwidth) / denom;
   beta_ = (4.0F * loop_bandwidth * loop_bandwidth) / denom;
+  BHSS_ENSURE(alpha_ > 0.0F && beta_ > 0.0F, "CostasLoop: derived loop gains must be positive");
 }
 
 dsp::cf CostasLoop::process(dsp::cf in) noexcept {

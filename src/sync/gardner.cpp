@@ -2,19 +2,26 @@
 
 #include <algorithm>
 #include <cmath>
-#include <stdexcept>
+
+#include "core/contracts.hpp"
 
 namespace bhss::sync {
 
 GardnerTimingRecovery::GardnerTimingRecovery(double samples_per_symbol, float loop_bandwidth,
                                              float damping)
     : nominal_period_(samples_per_symbol), period_(samples_per_symbol) {
-  if (samples_per_symbol < 2.0)
-    throw std::invalid_argument("GardnerTimingRecovery: need >= 2 samples/symbol");
+  BHSS_REQUIRE(samples_per_symbol >= 2.0, "GardnerTimingRecovery: need >= 2 samples/symbol");
+  BHSS_REQUIRE(std::isfinite(samples_per_symbol),
+               "GardnerTimingRecovery: samples_per_symbol must be finite");
+  BHSS_REQUIRE(loop_bandwidth > 0.0F && loop_bandwidth < 1.0F,
+               "GardnerTimingRecovery: loop_bandwidth must be in (0, 1)");
+  BHSS_REQUIRE(damping > 0.0F, "GardnerTimingRecovery: damping must be > 0");
   const float bw = loop_bandwidth;
   const float denom = 1.0F + 2.0F * damping * bw + bw * bw;
   alpha_ = (4.0F * damping * bw) / denom;
   beta_ = (4.0F * bw * bw) / denom;
+  BHSS_ENSURE(alpha_ > 0.0F && beta_ > 0.0F,
+              "GardnerTimingRecovery: derived loop gains must be positive");
   next_sample_ = samples_per_symbol;  // leave room for the mid-point lookback
 }
 
@@ -54,9 +61,9 @@ void GardnerTimingRecovery::process(dsp::cspan in, dsp::cvec& out) {
     if (scale > 1e-12F) error /= scale;
     error = std::clamp(error, -1.0F, 1.0F);
 
-    period_ = std::clamp(period_ + static_cast<double>(beta_) * error,
+    period_ = std::clamp(period_ + static_cast<double>(beta_) * static_cast<double>(error),
                          nominal_period_ * 0.9, nominal_period_ * 1.1);
-    mu_ = static_cast<double>(alpha_) * error;
+    mu_ = static_cast<double>(alpha_) * static_cast<double>(error);
     next_sample_ += period_ + mu_;
 
     last_midpoint_ = midpoint;

@@ -4,13 +4,14 @@
 #include <numbers>
 #include <stdexcept>
 
+#include "core/contracts.hpp"
 #include "sync/correlate.hpp"
 
 namespace bhss::sync {
 
 PreambleSync::PreambleSync(dsp::cvec reference, float threshold)
     : ref_(std::move(reference)), threshold_(threshold) {
-  if (ref_.size() < 8) throw std::invalid_argument("PreambleSync: reference too short");
+  BHSS_REQUIRE(ref_.size() >= 8, "PreambleSync: reference too short");
 }
 
 std::optional<SyncEstimate> PreambleSync::acquire(dsp::cspan x, std::size_t max_lag) const {
@@ -62,7 +63,8 @@ SyncEstimate PreambleSync::refine(dsp::cspan x, const SyncEstimate& coarse,
     if (mag <= 0.0F) continue;
     const double centre = static_cast<double>(begin) + static_cast<double>(block - 1) / 2.0;
     // Residual phase relative to the coarse model (small, no wrapping).
-    const double predicted = coarse.phase + coarse.cfo * centre;
+    const double predicted =
+        static_cast<double>(coarse.phase) + static_cast<double>(coarse.cfo) * centre;
     const double residual =
         std::arg(acc * std::polar(1.0F, static_cast<float>(-predicted)));
     const double w = mag;  // stronger blocks (less jammed) weigh more
