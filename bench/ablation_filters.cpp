@@ -11,10 +11,21 @@
 #include "baseline/dsss_baseline.hpp"
 #include "bench_util.hpp"
 #include "core/link_simulator.hpp"
+#include "runtime/parallel_link_runner.hpp"
 
 namespace {
 
 using namespace bhss;
+
+const char* policy_name(core::FilterPolicy policy) {
+  switch (policy) {
+    case core::FilterPolicy::off: return "off";
+    case core::FilterPolicy::adaptive: return "adaptive";
+    case core::FilterPolicy::always_lowpass: return "lowpass";
+    case core::FilterPolicy::always_excision: return "excision";
+  }
+  return "?";
+}
 
 core::SimConfig scenario(const core::BandwidthSet& bands, std::size_t sig_level,
                          double jam_frac, double snr_db, const bench::Options& opt) {
@@ -30,13 +41,28 @@ core::SimConfig scenario(const core::BandwidthSet& bands, std::size_t sig_level,
   return cfg;
 }
 
-void run_policy_row(const char* name, core::SimConfig cfg) {
+void run_policy_row(const char* name, core::SimConfig cfg, runtime::ParallelLinkRunner& runner,
+                    bench::JsonLog& log) {
   std::printf("%-28s", name);
   for (auto policy : {core::FilterPolicy::off, core::FilterPolicy::adaptive,
                       core::FilterPolicy::always_lowpass, core::FilterPolicy::always_excision}) {
     cfg.system.filter_policy = policy;
-    const core::LinkStats s = core::run_link(cfg);
+    const bench::Stopwatch watch;
+    const core::LinkStats s = runner.run(cfg);
+    const double wall_s = watch.seconds();
     std::printf("  %6.3f/%-4zu", s.ser(), s.ok);
+    log.write(bench::JsonLine()
+                  .add("figure", "ablation_filters")
+                  .add("section", "policy")
+                  .add("scenario", name)
+                  .add("policy", policy_name(policy))
+                  .add("ser", s.ser())
+                  .add("per", s.per())
+                  .add("delivered", s.ok)
+                  .add("packets", s.packets)
+                  .add("wall_s", wall_s)
+                  .add("packets_per_s",
+                       wall_s > 0.0 ? static_cast<double>(s.packets) / wall_s : 0.0));
   }
   std::printf("\n");
 }
@@ -47,15 +73,21 @@ int main(int argc, char** argv) {
   using namespace bhss;
   const bench::Options opt = bench::parse_options(argc, argv, 15);
   bench::header("Ablation", "filter policy, excision style, PSD estimator");
+  runtime::ParallelLinkRunner runner({.n_threads = opt.threads});
+  bench::JsonLog log(opt.json_path);
   const core::BandwidthSet bands = core::BandwidthSet::paper();
 
   std::printf("\n(a) filter policy: SER/packets-delivered per policy\n");
   std::printf("%-28s  %-11s  %-11s  %-11s  %-11s\n", "scenario", "off", "adaptive",
               "lowpass", "excision");
-  run_policy_row("NB jam  Bp/Bj=16, snr12", scenario(bands, 0, bands.bandwidth_frac(4), 12.0, opt));
-  run_policy_row("NB jam  Bp/Bj=4,  snr12", scenario(bands, 0, bands.bandwidth_frac(2), 12.0, opt));
-  run_policy_row("matched Bp/Bj=1,  snr22", scenario(bands, 0, bands.bandwidth_frac(0), 22.0, opt));
-  run_policy_row("WB jam  Bp/Bj=1/4,snr18", scenario(bands, 2, bands.bandwidth_frac(0), 18.0, opt));
+  run_policy_row("NB jam  Bp/Bj=16, snr12", scenario(bands, 0, bands.bandwidth_frac(4), 12.0, opt),
+                 runner, log);
+  run_policy_row("NB jam  Bp/Bj=4,  snr12", scenario(bands, 0, bands.bandwidth_frac(2), 12.0, opt),
+                 runner, log);
+  run_policy_row("matched Bp/Bj=1,  snr22", scenario(bands, 0, bands.bandwidth_frac(0), 22.0, opt),
+                 runner, log);
+  run_policy_row("WB jam  Bp/Bj=1/4,snr18", scenario(bands, 2, bands.bandwidth_frac(0), 18.0, opt),
+                 runner, log);
   std::printf("# expected: adaptive tracks the best column per row; forcing the\n"
               "# excision filter on a matched jammer (row 3) is NOT better than off\n"
               "# (eq. (10)); the low-pass only matters for the wide-band row.\n");
@@ -64,10 +96,19 @@ int main(int argc, char** argv) {
   for (auto style : {core::ExcisionStyle::whitening, core::ExcisionStyle::template_notch}) {
     core::SimConfig cfg = scenario(bands, 0, bands.bandwidth_frac(4), 12.0, opt);
     cfg.system.logic.excision_style = style;
-    const core::LinkStats s = core::run_link(cfg);
-    std::printf("  %-16s SER %.3f, delivered %zu/%zu\n",
-                style == core::ExcisionStyle::whitening ? "eq.(3) whitening" : "template notch",
-                s.ser(), s.ok, s.packets);
+    const char* style_name =
+        style == core::ExcisionStyle::whitening ? "eq.(3) whitening" : "template notch";
+    const bench::Stopwatch watch;
+    const core::LinkStats s = runner.run(cfg);
+    std::printf("  %-16s SER %.3f, delivered %zu/%zu\n", style_name, s.ser(), s.ok, s.packets);
+    log.write(bench::JsonLine()
+                  .add("figure", "ablation_filters")
+                  .add("section", "excision_jammed")
+                  .add("style", style_name)
+                  .add("ser", s.ser())
+                  .add("delivered", s.ok)
+                  .add("packets", s.packets)
+                  .add("wall_s", watch.seconds()));
   }
   std::printf("# and with no jammer at snr 8 (the self-noise cost of whitening):\n");
   for (auto style : {core::ExcisionStyle::whitening, core::ExcisionStyle::template_notch}) {
@@ -75,10 +116,19 @@ int main(int argc, char** argv) {
     cfg.jammer.kind = core::JammerSpec::Kind::none;
     cfg.system.filter_policy = core::FilterPolicy::always_excision;
     cfg.system.logic.excision_style = style;
-    const core::LinkStats s = core::run_link(cfg);
-    std::printf("  %-16s SER %.3f, delivered %zu/%zu\n",
-                style == core::ExcisionStyle::whitening ? "eq.(3) whitening" : "template notch",
-                s.ser(), s.ok, s.packets);
+    const char* style_name =
+        style == core::ExcisionStyle::whitening ? "eq.(3) whitening" : "template notch";
+    const bench::Stopwatch watch;
+    const core::LinkStats s = runner.run(cfg);
+    std::printf("  %-16s SER %.3f, delivered %zu/%zu\n", style_name, s.ser(), s.ok, s.packets);
+    log.write(bench::JsonLine()
+                  .add("figure", "ablation_filters")
+                  .add("section", "excision_clean")
+                  .add("style", style_name)
+                  .add("ser", s.ser())
+                  .add("delivered", s.ok)
+                  .add("packets", s.packets)
+                  .add("wall_s", watch.seconds()));
   }
 
   std::printf("\n(c) PSD estimator on the NB scenario (SER, adaptive policy)\n");
@@ -86,11 +136,20 @@ int main(int argc, char** argv) {
                       core::PsdMethod::periodogram}) {
     core::SimConfig cfg = scenario(bands, 0, bands.bandwidth_frac(4), 12.0, opt);
     cfg.system.logic.psd_method = method;
-    const core::LinkStats s = core::run_link(cfg);
     const char* name = method == core::PsdMethod::welch      ? "welch"
                        : method == core::PsdMethod::bartlett ? "bartlett"
                                                              : "periodogram";
+    const bench::Stopwatch watch;
+    const core::LinkStats s = runner.run(cfg);
     std::printf("  %-12s SER %.3f, delivered %zu/%zu\n", name, s.ser(), s.ok, s.packets);
+    log.write(bench::JsonLine()
+                  .add("figure", "ablation_filters")
+                  .add("section", "psd")
+                  .add("method", name)
+                  .add("ser", s.ser())
+                  .add("delivered", s.ok)
+                  .add("packets", s.packets)
+                  .add("wall_s", watch.seconds()));
   }
   return 0;
 }

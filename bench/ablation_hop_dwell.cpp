@@ -9,11 +9,14 @@
 
 #include "bench_util.hpp"
 #include "core/link_simulator.hpp"
+#include "runtime/parallel_link_runner.hpp"
 
 int main(int argc, char** argv) {
   using namespace bhss;
   const bench::Options opt = bench::parse_options(argc, argv, 15);
   bench::header("Ablation", "hop dwell vs reactive jammer reaction time (SER)");
+  runtime::ParallelLinkRunner runner({.n_threads = opt.threads});
+  bench::JsonLog log(opt.json_path);
 
   const core::BandwidthSet bands = core::BandwidthSet::paper();
   const std::vector<std::size_t> dwells = {1, 2, 4, 8, 16};
@@ -38,9 +41,23 @@ int main(int argc, char** argv) {
       cfg.jnr_db = 30.0;
       cfg.jammer.kind = core::JammerSpec::Kind::reactive;
       cfg.jammer.reaction_delay = tau;
-      const core::LinkStats s = core::run_link(cfg);
+      const bench::Stopwatch watch;
+      const core::LinkStats s = runner.run(cfg);
+      const double wall_s = watch.seconds();
       std::printf("  %10.3f", s.ser());
       std::fflush(stdout);
+      log.write(bench::JsonLine()
+                    .add("figure", "ablation_hop_dwell")
+                    .add("dwell_symbols", dwell)
+                    .add("tau_samples", tau)
+                    .add("ser", s.ser())
+                    .add("per", s.per())
+                    .add("packets", s.packets)
+                    .add("threads", runner.threads())
+                    .add("shards", runner.shards())
+                    .add("wall_s", wall_s)
+                    .add("packets_per_s",
+                         wall_s > 0.0 ? static_cast<double>(s.packets) / wall_s : 0.0));
     }
     std::printf("\n");
   }

@@ -1,12 +1,20 @@
 #pragma once
 
 /// @file bench_util.hpp
-/// Shared helpers for the per-figure bench harnesses: command-line knobs
-/// and table printing. Every sample-domain bench accepts
+/// Shared helpers for the per-figure bench harnesses: command-line knobs,
+/// table printing, wall-clock timing and machine-readable output. Every
+/// sample-domain bench accepts
 ///   --packets=N   packets per data point (default: quick CI setting;
 ///                 the paper used 10 000)
 ///   --seed=N      channel seed
+///   --jnr=dB      jammer-to-noise ratio
+///   --threads=N   Monte-Carlo worker threads (default: hardware
+///                 concurrency; determinism is per shard count, so this
+///                 only changes wall time)
+///   --json=PATH   append one JSON object per data point to PATH, so the
+///                 perf/accuracy trajectory can be tracked across PRs
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -18,6 +26,8 @@ struct Options {
   std::size_t packets = 12;
   std::uint64_t seed = 7;
   double jnr_db = 30.0;
+  std::size_t threads = 0;  ///< 0 = hardware concurrency
+  std::string json_path;    ///< empty = JSON output disabled
 };
 
 inline Options parse_options(int argc, char** argv, std::size_t default_packets = 12) {
@@ -30,8 +40,13 @@ inline Options parse_options(int argc, char** argv, std::size_t default_packets 
       opt.seed = std::strtoull(argv[i] + 7, nullptr, 10);
     } else if (std::strncmp(argv[i], "--jnr=", 6) == 0) {
       opt.jnr_db = std::strtod(argv[i] + 6, nullptr);
+    } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      opt.threads = static_cast<std::size_t>(std::strtoull(argv[i] + 10, nullptr, 10));
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      opt.json_path = argv[i] + 7;
     } else if (std::strcmp(argv[i], "--help") == 0) {
-      std::printf("usage: %s [--packets=N] [--seed=N] [--jnr=dB]\n", argv[0]);
+      std::printf("usage: %s [--packets=N] [--seed=N] [--jnr=dB] [--threads=N] [--json=PATH]\n",
+                  argv[0]);
       std::exit(0);
     }
   }
@@ -41,5 +56,98 @@ inline Options parse_options(int argc, char** argv, std::size_t default_packets 
 inline void header(const char* id, const char* what) {
   std::printf("# %s — %s\n", id, what);
 }
+
+/// Wall-clock stopwatch for per-data-point timing.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  void restart() { start_ = std::chrono::steady_clock::now(); }
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// One flat JSON object, built key by key. Keys are plain identifiers;
+/// string values get minimal escaping (quote, backslash, control chars).
+class JsonLine {
+ public:
+  JsonLine& add(const char* key, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.10g", value);
+    return raw(key, buf);
+  }
+  JsonLine& add(const char* key, std::size_t value) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%zu", value);
+    return raw(key, buf);
+  }
+  JsonLine& add(const char* key, const char* value) {
+    std::string quoted = "\"";
+    for (const char* p = value; *p != '\0'; ++p) {
+      const char c = *p;
+      if (c == '"' || c == '\\') {
+        quoted += '\\';
+        quoted += c;
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        char esc[8];
+        std::snprintf(esc, sizeof(esc), "\\u%04x", static_cast<unsigned>(c));
+        quoted += esc;
+      } else {
+        quoted += c;
+      }
+    }
+    quoted += '"';
+    return raw(key, quoted.c_str());
+  }
+
+  [[nodiscard]] std::string str() const { return "{" + body_ + "}"; }
+
+ private:
+  JsonLine& raw(const char* key, const char* value) {
+    if (!body_.empty()) body_ += ",";
+    body_ += "\"";
+    body_ += key;
+    body_ += "\":";
+    body_ += value;
+    return *this;
+  }
+
+  std::string body_;
+};
+
+/// Line-per-record JSON sink (JSONL). Disabled when the path is empty, so
+/// benches can call `log.write(...)` unconditionally.
+class JsonLog {
+ public:
+  JsonLog() = default;
+  explicit JsonLog(const std::string& path) {
+    if (!path.empty()) {
+      file_ = std::fopen(path.c_str(), "w");
+      if (file_ == nullptr) {
+        std::fprintf(stderr, "bench: cannot open %s for writing\n", path.c_str());
+      }
+    }
+  }
+  ~JsonLog() {
+    if (file_ != nullptr) std::fclose(file_);
+  }
+  JsonLog(const JsonLog&) = delete;
+  JsonLog& operator=(const JsonLog&) = delete;
+
+  [[nodiscard]] bool enabled() const noexcept { return file_ != nullptr; }
+
+  void write(const JsonLine& line) {
+    if (file_ == nullptr) return;
+    const std::string s = line.str();
+    std::fprintf(file_, "%s\n", s.c_str());
+    std::fflush(file_);
+  }
+
+ private:
+  std::FILE* file_ = nullptr;
+};
 
 }  // namespace bhss::bench

@@ -12,8 +12,10 @@
 #include "core/theory.hpp"
 #include "dsp/utils.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace bhss;
+  const bench::Options opt = bench::parse_options(argc, argv);
+  bench::JsonLog log(opt.json_path);
   bench::header("Figure 7", "upper bound on SNR improvement factor (eqs. 11/12)");
   const double noise_var = 0.01;
   const std::vector<double> rho_dbm = {10.0, 20.0, 30.0};
@@ -22,16 +24,25 @@ int main() {
   for (double r : rho_dbm) std::printf("  gamma@%2.0fdBm", r);
   std::printf("\n");
 
+  const bench::Stopwatch total;
   for (double e = -2.0; e <= 2.0 + 1e-9; e += 0.125) {
     const double ratio = std::pow(10.0, e);
     std::printf("%12.4f", ratio);
     for (double r : rho_dbm) {
+      const bench::Stopwatch watch;
       const double gamma = core::theory::snr_improvement_bound(
           ratio, dsp::db_to_linear(r), noise_var);
       std::printf("  %11.2f", dsp::linear_to_db(gamma));
+      log.write(bench::JsonLine()
+                    .add("figure", "fig07")
+                    .add("bp_over_bj", ratio)
+                    .add("jammer_dbm", r)
+                    .add("gamma_db", dsp::linear_to_db(gamma))
+                    .add("wall_s", watch.seconds()));
     }
     std::printf("\n");
   }
+  std::printf("# total wall time: %.3f s\n", total.seconds());
 
   // Paper-text anchors for EXPERIMENTS.md.
   std::printf("\n# anchors: gamma(Bp/Bj=0.01, 20dBm) = %.1f dB (paper: ~20 dB)\n",

@@ -9,8 +9,10 @@
 #include "core/theory.hpp"
 #include "dsp/utils.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace bhss;
+  const bench::Options opt = bench::parse_options(argc, argv);
+  bench::JsonLog log(opt.json_path);
   bench::header("Figure 8", "SNR improvement bound, zoomed to Bp/Bj in [0.5, 2]");
   const double noise_var = 0.01;
   const std::vector<double> rho_dbm = {10.0, 20.0, 30.0};
@@ -22,9 +24,16 @@ int main() {
   for (double ratio = 0.5; ratio <= 2.0 + 1e-9; ratio += 0.05) {
     std::printf("%8.2f", ratio);
     for (double r : rho_dbm) {
+      const bench::Stopwatch watch;
       const double gamma = core::theory::snr_improvement_bound(
           ratio, dsp::db_to_linear(r), noise_var);
       std::printf("  %11.2f", dsp::linear_to_db(gamma));
+      log.write(bench::JsonLine()
+                    .add("figure", "fig08")
+                    .add("bp_over_bj", ratio)
+                    .add("jammer_dbm", r)
+                    .add("gamma_db", dsp::linear_to_db(gamma))
+                    .add("wall_s", watch.seconds()));
     }
     std::printf("\n");
   }

@@ -16,9 +16,11 @@
 #include "core/theory.hpp"
 #include "dsp/utils.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace bhss;
   using core::theory::BhssModel;
+  const bench::Options opt = bench::parse_options(argc, argv);
+  bench::JsonLog log(opt.json_path);
   bench::header("Figure 10", "BER vs jammer bandwidth for SJR -10/-15/-20 dB (Eb/N0 15 dB)");
 
   const double ebno = dsp::db_to_linear(15.0);
@@ -34,6 +36,7 @@ int main() {
     const double bj = std::pow(10.0, e);
     std::printf("%14.4f", bj);
     for (std::size_t i = 0; i < sjr_db.size(); ++i) {
+      const bench::Stopwatch watch;
       const BhssModel model = BhssModel::log_uniform(100.0, 7, dsp::db_to_linear(20.0),
                                                      dsp::db_to_linear(-sjr_db[i]));
       const double ber = model.ber_fixed_jammer(bj, ebno);
@@ -42,6 +45,12 @@ int main() {
         peak_bw[i] = bj;
       }
       std::printf("  %12.3e", ber);
+      log.write(bench::JsonLine()
+                    .add("figure", "fig10")
+                    .add("bj_over_max_bp", bj)
+                    .add("sjr_db", sjr_db[i])
+                    .add("ber", ber)
+                    .add("wall_s", watch.seconds()));
     }
     std::printf("\n");
   }

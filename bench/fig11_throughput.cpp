@@ -14,9 +14,11 @@
 #include "core/theory.hpp"
 #include "dsp/utils.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace bhss;
   using core::theory::BhssModel;
+  const bench::Options opt = bench::parse_options(argc, argv);
+  bench::JsonLog log(opt.json_path);
   bench::header("Figure 11",
                 "normalised throughput vs Eb/N0 (N = 500 B, SJR -20 dB, range 100)");
 
@@ -33,13 +35,24 @@ int main() {
   std::printf("\n");
 
   for (double ebno_db = -5.0; ebno_db <= 30.0 + 1e-9; ebno_db += 1.0) {
+    const bench::Stopwatch watch;
     const double ebno = dsp::db_to_linear(ebno_db);
     std::printf("%8.1f  %10.3f  %11.3f", ebno_db, model.throughput_dsss(ebno, n_bits),
                 model.throughput_random_jammer(ebno, n_bits));
+    bench::JsonLine line;
+    line.add("figure", "fig11")
+        .add("ebno_db", ebno_db)
+        .add("throughput_dsss", model.throughput_dsss(ebno, n_bits))
+        .add("throughput_random", model.throughput_random_jammer(ebno, n_bits));
     for (double bj : jam_bw) {
-      std::printf("  %12.3f", model.throughput_fixed_jammer(bj, ebno, n_bits));
+      const double t = model.throughput_fixed_jammer(bj, ebno, n_bits);
+      std::printf("  %12.3f", t);
+      char key[32];
+      std::snprintf(key, sizeof(key), "throughput_bj_%g", bj);
+      line.add(key, t);
     }
     std::printf("\n");
+    log.write(line.add("wall_s", watch.seconds()));
   }
 
   // The paper's "12 dB separation" between the BHSS-vs-random-jammer curve

@@ -22,13 +22,17 @@
 #include "core/link_simulator.hpp"
 #include "core/theory.hpp"
 #include "dsp/utils.hpp"
+#include "runtime/parallel_link_runner.hpp"
 
 int main(int argc, char** argv) {
   using namespace bhss;
   const bench::Options opt = bench::parse_options(argc, argv, 10);
   bench::header("Figure 13", "power advantage vs bandwidth ratio, fixed offsets (sample-domain)");
-  std::printf("# packets per SNR point: %zu (paper: 10000); jammer at JNR %.0f dB\n",
-              opt.packets, opt.jnr_db);
+  runtime::ParallelLinkRunner runner({.n_threads = opt.threads});
+  bench::JsonLog log(opt.json_path);
+  std::printf("# packets per SNR point: %zu (paper: 10000); jammer at JNR %.0f dB; "
+              "%zu threads, %zu shards\n",
+              opt.packets, opt.jnr_db, runner.threads(), runner.shards());
 
   const core::BandwidthSet bands = core::BandwidthSet::paper();
   const double jnr_db = opt.jnr_db;
@@ -47,16 +51,37 @@ int main(int argc, char** argv) {
       cfg.jammer.kind = core::JammerSpec::Kind::fixed_bandwidth;
       cfg.jammer.bandwidth_frac = bands.bandwidth_frac(jam);
 
-      const double with_filter = core::min_snr_for_per(cfg);
+      std::size_t probes = 0;
+      const auto per_of = [&](const core::SimConfig& c) {
+        ++probes;
+        return runner.run(c).per();
+      };
+      const bench::Stopwatch watch;
+      const double with_filter = core::min_snr_for_per(cfg, per_of);
       core::SimConfig off = cfg;
       off.system.filter_policy = core::FilterPolicy::off;
-      const double without_filter = core::min_snr_for_per(off);
+      const double without_filter = core::min_snr_for_per(off, per_of);
+      const double wall_s = watch.seconds();
 
       const double ratio = bands.bandwidth_frac(sig) / bands.bandwidth_frac(jam);
       by_ratio[ratio].push_back(without_filter - with_filter);
       std::fprintf(stderr, "  Bp=%5.3f MHz Bj=%5.3f MHz: adv %.1f dB\n",
                    bands.bandwidth_hz(sig) / 1e6, bands.bandwidth_hz(jam) / 1e6,
                    without_filter - with_filter);
+      const double packets_total = static_cast<double>(probes * opt.packets);
+      log.write(bench::JsonLine()
+                    .add("figure", "fig13")
+                    .add("bp_mhz", bands.bandwidth_hz(sig) / 1e6)
+                    .add("bj_mhz", bands.bandwidth_hz(jam) / 1e6)
+                    .add("bp_over_bj", ratio)
+                    .add("min_snr_filter_db", with_filter)
+                    .add("min_snr_nofilter_db", without_filter)
+                    .add("advantage_db", without_filter - with_filter)
+                    .add("packets", opt.packets)
+                    .add("threads", runner.threads())
+                    .add("shards", runner.shards())
+                    .add("wall_s", wall_s)
+                    .add("packets_per_s", wall_s > 0.0 ? packets_total / wall_s : 0.0));
     }
   }
 

@@ -17,13 +17,17 @@
 #include "baseline/dsss_baseline.hpp"
 #include "bench_util.hpp"
 #include "core/link_simulator.hpp"
+#include "runtime/parallel_link_runner.hpp"
 
 int main(int argc, char** argv) {
   using namespace bhss;
   const bench::Options opt = bench::parse_options(argc, argv, 10);
   bench::header("Figure 14", "power advantage vs jammer bandwidth for the 3 hop patterns");
-  std::printf("# packets per SNR point: %zu (paper: 10000); jammer at JNR %.0f dB\n",
-              opt.packets, opt.jnr_db);
+  runtime::ParallelLinkRunner runner({.n_threads = opt.threads});
+  bench::JsonLog log(opt.json_path);
+  std::printf("# packets per SNR point: %zu (paper: 10000); jammer at JNR %.0f dB; "
+              "%zu threads, %zu shards\n",
+              opt.packets, opt.jnr_db, runner.threads(), runner.shards());
 
   const core::BandwidthSet bands = core::BandwidthSet::paper();
   const double jnr_db = opt.jnr_db;
@@ -37,7 +41,7 @@ int main(int argc, char** argv) {
   reference.jnr_db = jnr_db;
   reference.jammer.kind = core::JammerSpec::Kind::fixed_bandwidth;
   reference.jammer.bandwidth_frac = bands.bandwidth_frac(bands.widest_index());
-  const double ref_min_snr = core::min_snr_for_per(reference);
+  const double ref_min_snr = runner.min_snr_for_per(reference);
   std::printf("# fixed-bandwidth reference min SNR: %.1f dB\n\n", ref_min_snr);
 
   const core::HopPatternType patterns[] = {core::HopPatternType::linear,
@@ -68,11 +72,31 @@ int main(int argc, char** argv) {
       cfg.jnr_db = jnr_db;
       cfg.jammer.kind = core::JammerSpec::Kind::fixed_bandwidth;
       cfg.jammer.bandwidth_frac = bands.bandwidth_frac(jam);
-      const double min_snr = core::min_snr_for_per(cfg);
+      std::size_t probes = 0;
+      const auto per_of = [&](const core::SimConfig& c) {
+        ++probes;
+        return runner.run(c).per();
+      };
+      const bench::Stopwatch watch;
+      const double min_snr = core::min_snr_for_per(cfg, per_of);
+      const double wall_s = watch.seconds();
       const double adv = ref_min_snr - min_snr;
       advantage[jam].push_back(adv);
       std::printf("  %12.1f", adv);
       std::fflush(stdout);
+      const double packets_total = static_cast<double>(probes * opt.packets);
+      log.write(bench::JsonLine()
+                    .add("figure", "fig14")
+                    .add("section", "advantage")
+                    .add("pattern", to_string(type).c_str())
+                    .add("bj_mhz", bands.bandwidth_hz(jam) / 1e6)
+                    .add("min_snr_db", min_snr)
+                    .add("advantage_db", adv)
+                    .add("packets", opt.packets)
+                    .add("threads", runner.threads())
+                    .add("shards", runner.shards())
+                    .add("wall_s", wall_s)
+                    .add("packets_per_s", wall_s > 0.0 ? packets_total / wall_s : 0.0));
     }
     std::printf("\n");
   }
@@ -103,9 +127,26 @@ int main(int argc, char** argv) {
       cfg.jnr_db = jnr_db;
       cfg.jammer.kind = core::JammerSpec::Kind::fixed_bandwidth;
       cfg.jammer.bandwidth_frac = bands.bandwidth_frac(jam);
-      const core::LinkStats s = core::run_link(cfg);
+      const bench::Stopwatch watch;
+      const core::LinkStats s = runner.run(cfg);
+      const double wall_s = watch.seconds();
       std::printf("  %12.2f", 1.0 - s.per());
       std::fflush(stdout);
+      log.write(bench::JsonLine()
+                    .add("figure", "fig14")
+                    .add("section", "delivered")
+                    .add("pattern", to_string(type).c_str())
+                    .add("bj_mhz", bands.bandwidth_hz(jam) / 1e6)
+                    .add("snr_db", probe_snr)
+                    .add("per", s.per())
+                    .add("ser", s.ser())
+                    .add("throughput_bps", s.throughput_bps)
+                    .add("packets", opt.packets)
+                    .add("threads", runner.threads())
+                    .add("shards", runner.shards())
+                    .add("wall_s", wall_s)
+                    .add("packets_per_s",
+                         wall_s > 0.0 ? static_cast<double>(opt.packets) / wall_s : 0.0));
     }
     std::printf("\n");
   }

@@ -1,15 +1,29 @@
 // Microbenchmarks (google-benchmark) of the hot kernels behind the
 // experiments: FFT, direct vs overlap-save FIR filtering, Welch PSD,
-// excision design, chip modulation/demodulation, despreading, and a whole
-// frame reception. Not a paper figure — these quantify what the
-// sample-domain experiments cost and where the time goes.
+// excision design, chip modulation/demodulation, despreading, a whole
+// frame reception, and the parallel Monte-Carlo runner at 1/2/4/8
+// threads. Not a paper figure — these quantify what the sample-domain
+// experiments cost and where the time goes.
+//
+// The *Seed variants benchmark verbatim copies of the pre-optimisation
+// kernels (modulo-branch FIR ring buffer, allocate-per-call overlap-save)
+// so the speedup of the allocation-free hot paths stays measurable.
+//
+// Accepts --json=PATH in addition to the native google-benchmark flags;
+// it expands to --benchmark_out=PATH --benchmark_out_format=json so the
+// same knob works across all benches (see bench_util.hpp).
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstring>
 #include <random>
+#include <string>
+#include <vector>
 
 #include "channel/link_channel.hpp"
 #include "core/control_logic.hpp"
+#include "core/link_simulator.hpp"
 #include "core/receiver.hpp"
 #include "core/transmitter.hpp"
 #include "dsp/fft.hpp"
@@ -17,6 +31,7 @@
 #include "dsp/psd.hpp"
 #include "phy/modulator.hpp"
 #include "phy/spreader.hpp"
+#include "runtime/parallel_link_runner.hpp"
 
 namespace {
 
@@ -56,15 +71,91 @@ BENCHMARK(BM_FirDirect)->Arg(16)->Arg(64)->Arg(256);
 
 void BM_FirOverlapSave(benchmark::State& state) {
   const auto taps = static_cast<std::size_t>(state.range(0));
-  const dsp::FftConvolver conv{dsp::cspan{random_signal(taps, 4)}};
+  dsp::FftConvolver conv{dsp::cspan{random_signal(taps, 4)}};
   const dsp::cvec x = random_signal(4096, 5);
+  dsp::cvec y;
   for (auto _ : state) {
-    auto y = conv.filter(x);
+    conv.filter(x, y);
     benchmark::DoNotOptimize(y.data());
   }
   state.SetItemsProcessed(state.iterations() * 4096);
 }
 BENCHMARK(BM_FirOverlapSave)->Arg(64)->Arg(256)->Arg(1025);
+
+// ------------------------------------------------- seed-kernel comparisons
+
+/// Pre-optimisation FirFilter: modulo-branch ring buffer walk per tap.
+class SeedFirFilter {
+ public:
+  explicit SeedFirFilter(dsp::cvec taps) : taps_(std::move(taps)), head_(0) {
+    history_.assign(taps_.size(), dsp::cf{0.0F, 0.0F});
+  }
+
+  dsp::cf process(dsp::cf in) noexcept {
+    history_[head_] = in;
+    dsp::cf acc{0.0F, 0.0F};
+    std::size_t idx = head_;
+    const std::size_t n = taps_.size();
+    for (std::size_t k = 0; k < n; ++k) {
+      acc += taps_[k] * history_[idx];
+      idx = (idx == 0) ? n - 1 : idx - 1;
+    }
+    head_ = (head_ + 1 == n) ? 0 : head_ + 1;
+    return acc;
+  }
+
+ private:
+  dsp::cvec taps_;
+  dsp::cvec history_;
+  std::size_t head_;
+};
+
+void BM_FirDirectSeed(benchmark::State& state) {
+  const auto taps = static_cast<std::size_t>(state.range(0));
+  SeedFirFilter fir{random_signal(taps, 2)};
+  const dsp::cvec x = random_signal(4096, 3);
+  dsp::cvec y(x.size());
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < x.size(); ++i) y[i] = fir.process(x[i]);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_FirDirectSeed)->Arg(16)->Arg(64)->Arg(256);
+
+/// Pre-optimisation FftConvolver: a fresh fft_size block every call.
+void BM_FirOverlapSaveSeed(benchmark::State& state) {
+  const auto n_taps = static_cast<std::size_t>(state.range(0));
+  const dsp::cvec taps = random_signal(n_taps, 4);
+  std::size_t fft_size = 2;
+  while (fft_size < std::max<std::size_t>(4 * n_taps, 1024)) fft_size <<= 1;
+  const std::size_t block_size = fft_size - n_taps + 1;
+  const dsp::Fft fft(fft_size);
+  const dsp::cvec taps_spectrum = fft.forward_copy(dsp::cspan{taps});
+  const dsp::cvec x = random_signal(4096, 5);
+  const std::size_t overlap = n_taps - 1;
+  for (auto _ : state) {
+    dsp::cvec out(x.size());
+    dsp::cvec block(fft_size);  // the per-call allocation under test
+    for (std::size_t pos = 0; pos < x.size(); pos += block_size) {
+      for (std::size_t i = 0; i < fft_size; ++i) {
+        const auto global =
+            static_cast<std::ptrdiff_t>(pos + i) - static_cast<std::ptrdiff_t>(overlap);
+        block[i] = (global >= 0 && global < static_cast<std::ptrdiff_t>(x.size()))
+                       ? x[static_cast<std::size_t>(global)]
+                       : dsp::cf{0.0F, 0.0F};
+      }
+      fft.forward(dsp::cspan_mut{block});
+      for (std::size_t i = 0; i < fft_size; ++i) block[i] *= taps_spectrum[i];
+      fft.inverse(dsp::cspan_mut{block});
+      const std::size_t n_valid = std::min(block_size, x.size() - pos);
+      for (std::size_t i = 0; i < n_valid; ++i) out[pos + i] = block[overlap + i];
+    }
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_FirOverlapSaveSeed)->Arg(64)->Arg(256)->Arg(1025);
 
 void BM_WelchPsd(benchmark::State& state) {
   const dsp::cvec x = random_signal(16384, 6);
@@ -146,4 +237,52 @@ void BM_FullFrameReceive(benchmark::State& state) {
 }
 BENCHMARK(BM_FullFrameReceive);
 
+// ----------------------------------------------------- parallel Monte-Carlo
+
+/// End-to-end link simulation through the ParallelLinkRunner; the arg is
+/// the thread count. Fixed 16 shards, so every row computes the identical
+/// statistics — only the wall time may differ.
+void BM_RunLink(benchmark::State& state) {
+  const auto n_threads = static_cast<std::size_t>(state.range(0));
+  runtime::ParallelLinkRunner runner({.n_threads = n_threads, .n_shards = 16});
+  core::SimConfig cfg;
+  cfg.payload_len = 4;
+  cfg.n_packets = 16;
+  cfg.snr_db = 12.0;
+  cfg.jnr_db = 20.0;
+  cfg.jammer.kind = core::JammerSpec::Kind::fixed_bandwidth;
+  cfg.jammer.bandwidth_frac = 0.1;
+  for (auto _ : state) {
+    const core::LinkStats s = runner.run(cfg);
+    benchmark::DoNotOptimize(s.ok);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(cfg.n_packets));
+}
+BENCHMARK(BM_RunLink)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+
 }  // namespace
+
+// Custom main: rewrite --json=PATH into the native reporter flags, then
+// hand over to google-benchmark.
+int main(int argc, char** argv) {
+  std::vector<std::string> storage;
+  storage.reserve(static_cast<std::size_t>(argc) + 1);
+  for (int i = 0; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      storage.emplace_back(std::string("--benchmark_out=") + (argv[i] + 7));
+      storage.emplace_back("--benchmark_out_format=json");
+    } else {
+      storage.emplace_back(argv[i]);
+    }
+  }
+  std::vector<char*> args;
+  args.reserve(storage.size());
+  for (std::string& s : storage) args.push_back(s.data());
+  int new_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&new_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(new_argc, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -10,8 +10,10 @@
 #include "core/pattern_optimizer.hpp"
 #include "dsp/utils.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace bhss;
+  const bench::Options opt = bench::parse_options(argc, argv);
+  bench::JsonLog log(opt.json_path);
   bench::header("Table 1", "hop pattern distributions over the 7 paper bandwidths");
 
   const core::BandwidthSet bands = core::BandwidthSet::paper();
@@ -49,10 +51,17 @@ int main() {
       {core::HopPatternType::parabolic, 3.77, 471.0},
   };
   for (const auto& f : figs) {
+    const bench::Stopwatch watch;
     const core::HopPattern p = core::HopPattern::make(f.type, bands);
     std::printf("#   %-12s avg bandwidth %.2f MHz (%.2f), avg throughput %.0f kb/s (%.0f)\n",
                 to_string(f.type).c_str(), p.average_bandwidth_hz() / 1e6, f.paper_bw_mhz,
                 p.average_throughput_bps() / 1e3, f.paper_kbps);
+    log.write(bench::JsonLine()
+                  .add("figure", "table1")
+                  .add("pattern", to_string(f.type).c_str())
+                  .add("avg_bandwidth_mhz", p.average_bandwidth_hz() / 1e6)
+                  .add("avg_throughput_kbps", p.average_throughput_bps() / 1e3)
+                  .add("wall_s", watch.seconds()));
   }
 
   // Re-derive the parabolic distribution with our Monte-Carlo optimiser
@@ -69,7 +78,12 @@ int main() {
                 to_string(row.type).c_str(),
                 core::min_advantage_db(p, ocfg.jammer_power, ocfg.noise_var));
   }
+  const double opt_adv = core::min_advantage_db(optimum, ocfg.jammer_power, ocfg.noise_var);
   std::printf("#   min advantage over all jammer bandwidths: %-12s %.2f dB\n", "optimised",
-              core::min_advantage_db(optimum, ocfg.jammer_power, ocfg.noise_var));
+              opt_adv);
+  log.write(bench::JsonLine()
+                .add("figure", "table1")
+                .add("pattern", "optimised")
+                .add("min_advantage_db", opt_adv));
   return 0;
 }

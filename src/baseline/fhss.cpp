@@ -73,7 +73,7 @@ std::vector<std::uint8_t> FhssReceiver::receive(dsp::cspan rx, std::uint64_t fra
   const std::size_t samples_per_hop = chips_per_hop * config_.sps;
   const std::size_t total_samples = total_symbols * phy::kChipsPerSymbol * config_.sps;
 
-  const dsp::FftConvolver convolver{dsp::cspan{channel_filter_}};
+  dsp::FftConvolver convolver{dsp::cspan{channel_filter_}};
   const std::size_t group_delay = (channel_filter_.size() - 1) / 2;
 
   phy::Despreader despreader(scrambler_seed);

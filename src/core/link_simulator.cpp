@@ -76,18 +76,21 @@ class JammerBox {
 
 }  // namespace
 
-LinkStats run_link(const SimConfig& cfg) {
+LinkStats run_link_shard(const SimConfig& cfg, std::size_t first_packet,
+                         std::size_t n_packets, const ShardSeeds& seeds) {
   const BhssTransmitter tx(cfg.system);
   const BhssReceiver rx(cfg.system);
-  channel::AwgnSource noise(cfg.channel_seed);
-  SharedRandom channel_rng(cfg.channel_seed ^ 0xC4A77EULL);
-  JammerBox jammer(cfg.jammer, cfg.system.pattern.bands());
+  channel::AwgnSource noise(seeds.channel);
+  SharedRandom channel_rng(seeds.impairments);
+  JammerSpec spec = cfg.jammer;
+  spec.seed = seeds.jammer;
+  JammerBox jammer(spec, cfg.system.pattern.bands());
 
   const double sample_rate = cfg.system.pattern.bands().sample_rate_hz();
   const bool genie = cfg.system.sync == SyncMode::genie;
 
   LinkStats stats;
-  for (std::size_t pkt = 0; pkt < cfg.n_packets; ++pkt) {
+  for (std::size_t pkt = first_packet; pkt < first_packet + n_packets; ++pkt) {
     // Deterministic, packet-dependent payload.
     std::vector<std::uint8_t> payload(cfg.payload_len);
     for (std::size_t j = 0; j < payload.size(); ++j) {
@@ -141,12 +144,36 @@ LinkStats run_link(const SimConfig& cfg) {
   return stats;
 }
 
-double min_snr_for_per(const SimConfig& cfg, double target_per, double lo_db, double hi_db,
-                       double tol_db) {
-  auto per_at = [&cfg](double snr_db) {
+LinkStats run_link(const SimConfig& cfg) {
+  // The default seed tuple reproduces the historical sequential stream:
+  // noise straight from channel_seed, impairments from its fixed xor.
+  const ShardSeeds seeds{cfg.channel_seed, cfg.channel_seed ^ 0xC4A77EULL, cfg.jammer.seed};
+  return run_link_shard(cfg, 0, cfg.n_packets, seeds);
+}
+
+LinkStats merge_link_stats(const std::vector<LinkStats>& shards, std::size_t payload_len) {
+  LinkStats total;
+  for (const LinkStats& s : shards) {
+    total.packets += s.packets;
+    total.detected += s.detected;
+    total.ok += s.ok;
+    total.symbol_errors += s.symbol_errors;
+    total.total_symbols += s.total_symbols;
+    total.airtime_s += s.airtime_s;
+  }
+  if (total.airtime_s > 0.0) {
+    total.throughput_bps =
+        static_cast<double>(total.ok * payload_len * 8) / total.airtime_s;
+  }
+  return total;
+}
+
+double min_snr_for_per(const SimConfig& cfg, const PerEvaluator& per_of, double target_per,
+                       double lo_db, double hi_db, double tol_db) {
+  auto per_at = [&cfg, &per_of](double snr_db) {
     SimConfig c = cfg;
     c.snr_db = snr_db;
-    return run_link(c).per();
+    return per_of(c);
   };
 
   if (per_at(hi_db) > target_per) return hi_db;  // unreachable even at max power
@@ -163,6 +190,13 @@ double min_snr_for_per(const SimConfig& cfg, double target_per, double lo_db, do
     }
   }
   return hi;
+}
+
+double min_snr_for_per(const SimConfig& cfg, double target_per, double lo_db, double hi_db,
+                       double tol_db) {
+  return min_snr_for_per(
+      cfg, [](const SimConfig& c) { return run_link(c).per(); }, target_per, lo_db, hi_db,
+      tol_db);
 }
 
 double power_advantage_db(const SimConfig& a, const SimConfig& b, double target_per) {

@@ -7,6 +7,7 @@
 /// needed to stay below 50 % packet loss).
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "core/receiver.hpp"
@@ -74,8 +75,35 @@ struct LinkStats {
   }
 };
 
+/// Merge shard statistics in shard order; `throughput_bps` is recomputed
+/// from the merged totals. Deterministic for a fixed shard sequence.
+[[nodiscard]] LinkStats merge_link_stats(const std::vector<LinkStats>& shards,
+                                         std::size_t payload_len);
+
+/// Seed tuple for one simulation shard. `run_link` derives the default
+/// tuple from `SimConfig`; the parallel runner derives one per shard via
+/// `SharedRandom::split_seed` so shard streams never overlap.
+struct ShardSeeds {
+  std::uint64_t channel = 0;      ///< AWGN source
+  std::uint64_t impairments = 0;  ///< per-packet delay/phase/CFO draws
+  std::uint64_t jammer = 0;       ///< jammer-private randomness
+};
+
+/// Run packets [first_packet, first_packet + n_packets) through the link
+/// with an explicit seed tuple. Packet indices are global: the payload and
+/// the shared-randomness frame counter depend only on the index, so a
+/// sharded run transmits exactly the same frames as a sequential one.
+[[nodiscard]] LinkStats run_link_shard(const SimConfig& cfg, std::size_t first_packet,
+                                       std::size_t n_packets, const ShardSeeds& seeds);
+
 /// Run `cfg.n_packets` packets through the link.
 [[nodiscard]] LinkStats run_link(const SimConfig& cfg);
+
+/// Packet-error-rate oracle for the bisection below: maps a SimConfig to
+/// its measured PER. The default evaluates `run_link(cfg).per()`
+/// sequentially; `runtime::ParallelLinkRunner` plugs itself in here so the
+/// bisection inherits the parallel speedup.
+using PerEvaluator = std::function<double(const SimConfig&)>;
 
 /// Paper §6.3 measurement: the minimum SNR (dB) at which the packet loss
 /// stays below `target_per`, found by bisection over [lo_db, hi_db].
@@ -83,6 +111,12 @@ struct LinkStats {
 [[nodiscard]] double min_snr_for_per(const SimConfig& cfg, double target_per = 0.5,
                                      double lo_db = -10.0, double hi_db = 45.0,
                                      double tol_db = 0.5);
+
+/// Same bisection with a custom PER oracle (parallel runner, cached or
+/// analytic models, ...).
+[[nodiscard]] double min_snr_for_per(const SimConfig& cfg, const PerEvaluator& per_of,
+                                     double target_per = 0.5, double lo_db = -10.0,
+                                     double hi_db = 45.0, double tol_db = 0.5);
 
 /// Power advantage of configuration `a` over configuration `b` in dB:
 /// min-SNR(b) - min-SNR(a). Positive = `a` tolerates that much more

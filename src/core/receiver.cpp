@@ -60,7 +60,7 @@ dsp::cvec BhssReceiver::filtered_slice(dsp::cspan buffer, std::size_t a0, std::s
     padded[i] = buffer[begin + i];
   }
 
-  const dsp::FftConvolver convolver{dsp::cspan{decision.taps}};
+  dsp::FftConvolver convolver{dsp::cspan{decision.taps}};
   const dsp::cvec filtered = convolver.filter(padded);
 
   dsp::cvec out(needed);
@@ -111,7 +111,7 @@ RxResult BhssReceiver::receive(dsp::cspan rx, std::uint64_t frame_counter,
     dsp::cvec sync_window(window.begin(), window.end());
     dsp::cvec sync_ref = reference;
     if (decision.kind != FilterDecision::Kind::none) {
-      const dsp::FftConvolver convolver{dsp::cspan{decision.taps}};
+      dsp::FftConvolver convolver{dsp::cspan{decision.taps}};
       sync_window = convolver.filter(sync_window);
       sync_ref = convolver.filter(sync_ref);
     }

@@ -59,6 +59,19 @@ std::uint32_t SharedRandom::derive_scrambler_seed() noexcept {
   return seed == 0 ? 1U : seed;
 }
 
+std::uint64_t SharedRandom::split_seed(std::uint64_t base, std::uint64_t stream,
+                                       std::uint64_t index) noexcept {
+  // Chain two splitmix64 steps through the stream and index words. The
+  // odd multipliers decorrelate (stream, index) pairs that differ in only
+  // one coordinate; the final splitmix64 avalanches the combination.
+  std::uint64_t sm = base;
+  std::uint64_t z = splitmix64(sm);
+  sm = z ^ (stream * 0xA0761D6478BD642FULL);
+  z = splitmix64(sm);
+  sm = z ^ (index * 0xE7037ED1A0B428DBULL);
+  return splitmix64(sm);
+}
+
 SharedRandom SharedRandom::for_frame(std::uint64_t session_seed,
                                      std::uint64_t frame_counter) noexcept {
   std::uint64_t sm = session_seed;

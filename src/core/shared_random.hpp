@@ -44,6 +44,14 @@ class SharedRandom {
   [[nodiscard]] static SharedRandom for_frame(std::uint64_t session_seed,
                                               std::uint64_t frame_counter) noexcept;
 
+  /// Seed-split: derive an independent child seed from (base, stream,
+  /// index). Used by the parallel Monte-Carlo runner to give every shard
+  /// its own (channel, impairments, jammer) seed tuple. The mapping is a
+  /// pure integer mix (splitmix64 chain), so it is identical on every
+  /// platform — tests pin golden values.
+  [[nodiscard]] static std::uint64_t split_seed(std::uint64_t base, std::uint64_t stream,
+                                                std::uint64_t index) noexcept;
+
  private:
   std::array<std::uint64_t, 4> s_;
 };

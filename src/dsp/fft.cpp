@@ -1,11 +1,59 @@
 #include "dsp/fft.hpp"
 
 #include <cmath>
+#include <mutex>
 #include <numbers>
+#include <unordered_map>
 
 #include "core/contracts.hpp"
 
 namespace bhss::dsp {
+
+/// Immutable per-size tables. Built once per size, shared by every Fft of
+/// that size (across threads: the tables are read-only after publication).
+struct FftPlan {
+  std::vector<std::size_t> bitrev;
+  cvec twiddles;  ///< exp(-j 2 pi k / n), k in [0, n/2)
+};
+
+namespace {
+
+std::shared_ptr<const FftPlan> build_plan(std::size_t n) {
+  auto plan = std::make_shared<FftPlan>();
+
+  // Bit-reversal permutation table.
+  plan->bitrev.resize(n);
+  std::size_t bits = 0;
+  while ((std::size_t{1} << bits) < n) ++bits;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t r = 0;
+    for (std::size_t b = 0; b < bits; ++b) {
+      if (i & (std::size_t{1} << b)) r |= std::size_t{1} << (bits - 1 - b);
+    }
+    plan->bitrev[i] = r;
+  }
+
+  // Twiddle factors for the forward transform.
+  plan->twiddles.resize(n / 2);
+  for (std::size_t k = 0; k < n / 2; ++k) {
+    const double angle = -2.0 * std::numbers::pi * static_cast<double>(k) / static_cast<double>(n);
+    plan->twiddles[k] = cf(static_cast<float>(std::cos(angle)), static_cast<float>(std::sin(angle)));
+  }
+  return plan;
+}
+
+/// Process-wide plan cache. Guarded by a mutex: lookups happen once per
+/// Fft construction (per hop at worst), never per sample.
+std::shared_ptr<const FftPlan> plan_for(std::size_t n) {
+  static std::mutex mutex;
+  static std::unordered_map<std::size_t, std::shared_ptr<const FftPlan>> cache;
+  const std::scoped_lock lock(mutex);
+  auto& slot = cache[n];
+  if (!slot) slot = build_plan(n);
+  return slot;
+}
+
+}  // namespace
 
 bool Fft::valid_size(std::size_t n) noexcept {
   return n >= 2 && (n & (n - 1)) == 0;
@@ -13,31 +61,15 @@ bool Fft::valid_size(std::size_t n) noexcept {
 
 Fft::Fft(std::size_t n) : n_(n) {
   BHSS_REQUIRE(valid_size(n), "Fft: size must be a power of two >= 2");
-
-  // Bit-reversal permutation table.
-  bitrev_.resize(n_);
-  std::size_t bits = 0;
-  while ((std::size_t{1} << bits) < n_) ++bits;
-  for (std::size_t i = 0; i < n_; ++i) {
-    std::size_t r = 0;
-    for (std::size_t b = 0; b < bits; ++b) {
-      if (i & (std::size_t{1} << b)) r |= std::size_t{1} << (bits - 1 - b);
-    }
-    bitrev_[i] = r;
-  }
-
-  // Twiddle factors for the forward transform.
-  twiddles_.resize(n_ / 2);
-  for (std::size_t k = 0; k < n_ / 2; ++k) {
-    const double angle = -2.0 * std::numbers::pi * static_cast<double>(k) / static_cast<double>(n_);
-    twiddles_[k] = cf(static_cast<float>(std::cos(angle)), static_cast<float>(std::sin(angle)));
-  }
+  plan_ = plan_for(n);
 }
 
 void Fft::transform(cspan_mut x, bool inverse) const {
   BHSS_REQUIRE(x.size() == n_, "Fft: buffer length must equal the transform size");
+  const std::vector<std::size_t>& bitrev = plan_->bitrev;
+  const cvec& twiddles = plan_->twiddles;
   for (std::size_t i = 0; i < n_; ++i) {
-    const std::size_t j = bitrev_[i];
+    const std::size_t j = bitrev[i];
     if (i < j) std::swap(x[i], x[j]);
   }
   for (std::size_t len = 2; len <= n_; len <<= 1) {
@@ -45,7 +77,7 @@ void Fft::transform(cspan_mut x, bool inverse) const {
     const std::size_t step = n_ / len;
     for (std::size_t start = 0; start < n_; start += len) {
       for (std::size_t k = 0; k < half; ++k) {
-        cf w = twiddles_[k * step];
+        cf w = twiddles[k * step];
         if (inverse) w = std::conj(w);
         const cf u = x[start + k];
         const cf t = w * x[start + k + half];
@@ -70,6 +102,15 @@ cvec Fft::forward_copy(cspan x) const {
   out.resize(n_, cf{0.0F, 0.0F});
   forward(cspan_mut{out});
   return out;
+}
+
+void Fft::forward_into(cspan x, cspan_mut out) const {
+  BHSS_REQUIRE(x.size() <= n_, "Fft::forward_into: input longer than the transform size");
+  BHSS_REQUIRE(out.size() == n_, "Fft::forward_into: output length must equal the transform size");
+  std::size_t i = 0;
+  for (; i < x.size(); ++i) out[i] = x[i];
+  for (; i < n_; ++i) out[i] = cf{0.0F, 0.0F};
+  forward(out);
 }
 
 fvec fft_shift(fspan x) {

@@ -4,14 +4,24 @@
 /// Iterative radix-2 FFT with a precomputed plan. Used by the receiver's
 /// jammer spectral estimator and by the excision-filter design (eq. (3)
 /// in the paper requires an inverse DFT of the desired response).
+///
+/// Plans (bit-reversal table + twiddle factors) are immutable and shared
+/// through a process-wide cache, so constructing an `Fft` for a size that
+/// has been used before is a cheap shared-pointer copy. The receiver
+/// builds an `FftConvolver` (and hence an `Fft`) per hop; without the
+/// cache that rebuilt the tables at every hop of every packet.
+
+#include <memory>
 
 #include "dsp/types.hpp"
 
 namespace bhss::dsp {
 
+struct FftPlan;  // bitrev + twiddles, defined in fft.cpp
+
 /// Radix-2 decimation-in-time FFT plan for a fixed power-of-two size.
 /// Forward transform is unnormalised; inverse divides by N so that
-/// inverse(forward(x)) == x.
+/// inverse(forward(x)) == x. Copying an Fft only copies a plan handle.
 class Fft {
  public:
   /// @param n transform size; must be a power of two >= 2.
@@ -28,6 +38,10 @@ class Fft {
   /// Out-of-place convenience: returns FFT of `x`.
   [[nodiscard]] cvec forward_copy(cspan x) const;
 
+  /// Zero-pad `x` into `out` (whose size must equal size()) and transform
+  /// in place — `forward_copy` without the per-call allocation.
+  void forward_into(cspan x, cspan_mut out) const;
+
   /// True if `n` is a power of two >= 2.
   [[nodiscard]] static bool valid_size(std::size_t n) noexcept;
 
@@ -35,8 +49,7 @@ class Fft {
   void transform(cspan_mut x, bool inverse) const;
 
   std::size_t n_;
-  std::vector<std::size_t> bitrev_;
-  cvec twiddles_;  ///< exp(-j 2 pi k / n), k in [0, n/2)
+  std::shared_ptr<const FftPlan> plan_;  ///< shared via the process-wide cache
 };
 
 /// Rotate a PSD / spectrum from natural FFT order (DC first) to a

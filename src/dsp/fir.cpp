@@ -14,7 +14,7 @@ namespace bhss::dsp {
 FirFilter::FirFilter(cvec taps) : taps_(std::move(taps)), head_(0) {
   BHSS_REQUIRE(!taps_.empty(), "FirFilter: taps must be non-empty");
   BHSS_REQUIRE(all_finite(cspan{taps_}), "FirFilter: taps must be finite");
-  history_.assign(taps_.size(), cf{0.0F, 0.0F});
+  history_.assign(2 * taps_.size(), cf{0.0F, 0.0F});
 }
 
 FirFilter::FirFilter(fspan real_taps) : FirFilter(to_complex(real_taps)) {}
@@ -25,13 +25,16 @@ void FirFilter::reset() noexcept {
 }
 
 cf FirFilter::process(cf in) noexcept {
-  history_[head_] = in;
-  cf acc{0.0F, 0.0F};
-  std::size_t idx = head_;
   const std::size_t n = taps_.size();
+  history_[head_] = in;
+  history_[head_ + n] = in;
+  // Sample x[t-k] lives at slot head_ + n - k of the doubled history:
+  // a linear, branch-free walk over [head_ + 1, head_ + n].
+  const cf* hist = history_.data() + head_ + n;
+  const cf* taps = taps_.data();
+  cf acc{0.0F, 0.0F};
   for (std::size_t k = 0; k < n; ++k) {
-    acc += taps_[k] * history_[idx];
-    idx = (idx == 0) ? n - 1 : idx - 1;
+    acc += taps[k] * *(hist - static_cast<std::ptrdiff_t>(k));
   }
   head_ = (head_ + 1 == n) ? 0 : head_ + 1;
   return acc;
@@ -39,7 +42,25 @@ cf FirFilter::process(cf in) noexcept {
 
 cvec FirFilter::process(cspan in) {
   cvec out(in.size());
-  for (std::size_t i = 0; i < in.size(); ++i) out[i] = process(in[i]);
+  // Block path: same arithmetic and accumulation order as the per-sample
+  // overload, with the filter state hoisted out of the loop.
+  const std::size_t n = taps_.size();
+  cf* __restrict hist = history_.data();
+  const cf* __restrict taps = taps_.data();
+  std::size_t head = head_;
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    const cf x = in[i];
+    hist[head] = x;
+    hist[head + n] = x;
+    const cf* base = hist + head + n;
+    cf acc{0.0F, 0.0F};
+    for (std::size_t k = 0; k < n; ++k) {
+      acc += taps[k] * *(base - static_cast<std::ptrdiff_t>(k));
+    }
+    out[i] = acc;
+    head = (head + 1 == n) ? 0 : head + 1;
+  }
+  head_ = head;
   return out;
 }
 
@@ -59,15 +80,22 @@ FftConvolver::FftConvolver(cspan taps)
     : num_taps_(taps.size()),
       fft_size_(next_pow2(std::max<std::size_t>(4 * taps.size(), 1024))),
       block_size_(fft_size_ - num_taps_ + 1),
-      fft_(fft_size_) {
+      fft_(fft_size_),
+      work_(fft_size_) {
   BHSS_REQUIRE(!taps.empty(), "FftConvolver: taps must be non-empty");
   BHSS_REQUIRE(all_finite(taps), "FftConvolver: taps must be finite");
   taps_spectrum_ = fft_.forward_copy(taps);
 }
 
-cvec FftConvolver::filter(cspan x) const {
-  cvec out(x.size());
-  cvec block(fft_size_);
+cvec FftConvolver::filter(cspan x) {
+  cvec out;
+  filter(x, out);
+  return out;
+}
+
+void FftConvolver::filter(cspan x, cvec& out) {
+  out.resize(x.size());
+  cvec& block = work_;
   // Overlap-save: each iteration consumes block_size_ fresh samples and
   // reuses the previous num_taps_-1 samples (zeros before the start).
   const std::size_t overlap = num_taps_ - 1;
@@ -85,7 +113,6 @@ cvec FftConvolver::filter(cspan x) const {
     const std::size_t n_valid = std::min(block_size_, x.size() - pos);
     for (std::size_t i = 0; i < n_valid; ++i) out[pos + i] = block[overlap + i];
   }
-  return out;
 }
 
 // ------------------------------------------------------------ filter design

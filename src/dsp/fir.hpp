@@ -18,6 +18,12 @@ namespace bhss::dsp {
 
 /// Streaming direct-form FIR filter with complex taps.
 /// y[n] = sum_k taps[k] * x[n-k], with zero initial state.
+///
+/// The delay line is stored twice, back to back ("doubled history"), so
+/// the accumulation over the last N samples is a single linear walk —
+/// no per-tap wrap branch, and the compiler can vectorise the dot
+/// product. Each write costs two stores; each of the N reads costs
+/// nothing extra.
 class FirFilter {
  public:
   /// Construct from complex taps; must be non-empty.
@@ -40,20 +46,29 @@ class FirFilter {
 
  private:
   cvec taps_;
-  cvec history_;      ///< ring buffer of past inputs
-  std::size_t head_;  ///< index of most recent sample in history_
+  cvec history_;      ///< doubled delay line: slot i and i + N hold the same sample
+  std::size_t head_;  ///< slot (in [0, N)) of the most recent sample
 };
 
 /// Overlap-save block convolver. Produces exactly the same output as a
 /// freshly reset FirFilter (causal, zero initial state, output length ==
 /// input length) but in O(N log N) — essential for the high filter orders
 /// the paper uses (up to 3181 taps).
+///
+/// A reusable FFT workspace lives in the convolver, so `filter` performs
+/// exactly one allocation (the output buffer) regardless of how many
+/// overlap-save blocks the input spans. One convolver therefore serves
+/// one thread at a time; give each worker its own instance.
 class FftConvolver {
  public:
   explicit FftConvolver(cspan taps);
 
   /// Causal filtering of a whole buffer.
-  [[nodiscard]] cvec filter(cspan x) const;
+  [[nodiscard]] cvec filter(cspan x);
+
+  /// Causal filtering into a caller-provided buffer (resized to x.size());
+  /// allocation-free once `out` has capacity.
+  void filter(cspan x, cvec& out);
 
   [[nodiscard]] std::size_t num_taps() const noexcept { return num_taps_; }
 
@@ -63,6 +78,7 @@ class FftConvolver {
   std::size_t block_size_;
   Fft fft_;
   cvec taps_spectrum_;
+  cvec work_;  ///< overlap-save block scratch, reused across calls
 };
 
 /// Windowed-sinc linear-phase low-pass design.

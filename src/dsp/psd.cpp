@@ -2,26 +2,45 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
+#include <utility>
 
 #include "core/contracts.hpp"
 #include "dsp/fft.hpp"
 #include "dsp/utils.hpp"
 
 namespace bhss::dsp {
+namespace {
+
+/// Per-thread window cache: the receiver estimates a PSD per hop with the
+/// same few (window, size) combinations, and recomputing the window costs
+/// as much as the FFT it feeds. Thread-local so the parallel Monte-Carlo
+/// workers never contend.
+const fvec& cached_window(Window window, std::size_t size) {
+  thread_local std::map<std::pair<int, std::size_t>, fvec> cache;
+  fvec& slot = cache[{static_cast<int>(window), size}];
+  if (slot.size() != size) slot = make_window(window, size);
+  return slot;
+}
+
+}  // namespace
 
 fvec welch_psd(cspan x, std::size_t fft_size, double overlap, Window window) {
   BHSS_REQUIRE(Fft::valid_size(fft_size), "welch_psd: fft_size must be a power of two >= 2");
   BHSS_REQUIRE(overlap >= 0.0 && overlap <= 0.95, "welch_psd: overlap must be in [0, 0.95]");
   BHSS_REQUIRE(!x.empty(), "welch_psd: empty input");
 
-  const fvec w = make_window(window, fft_size);
+  const fvec& w = cached_window(window, fft_size);
   const double w_power = window_power(w);
   const auto hop = std::max<std::size_t>(
       1, static_cast<std::size_t>(std::lround(static_cast<double>(fft_size) * (1.0 - overlap))));
 
-  Fft fft(fft_size);
+  const Fft fft(fft_size);
   fvec psd(fft_size, 0.0F);
-  cvec seg(fft_size);
+  // Segment scratch, reused across calls on this thread (the transform is
+  // in place; every element is overwritten before the FFT reads it).
+  thread_local cvec seg;
+  seg.resize(fft_size);
   std::size_t n_segments = 0;
 
   auto accumulate = [&](cspan chunk) {

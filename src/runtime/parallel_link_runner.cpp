@@ -1,0 +1,61 @@
+#include "runtime/parallel_link_runner.hpp"
+
+#include <algorithm>
+
+#include "core/contracts.hpp"
+#include "core/shared_random.hpp"
+
+namespace bhss::runtime {
+namespace {
+
+/// Stream ids for the per-shard seed split. Fixed forever: changing them
+/// silently re-rolls every recorded experiment.
+constexpr std::uint64_t kChannelStream = 0x11;
+constexpr std::uint64_t kImpairmentStream = 0x22;
+constexpr std::uint64_t kJammerStream = 0x33;
+
+}  // namespace
+
+ParallelLinkRunner::ParallelLinkRunner(RunnerOptions options)
+    : options_(options), pool_(options.n_threads) {
+  BHSS_REQUIRE(options_.n_shards >= 1, "ParallelLinkRunner: n_shards must be >= 1");
+}
+
+core::ShardSeeds ParallelLinkRunner::shard_seeds(const core::SimConfig& cfg,
+                                                 std::size_t shard) noexcept {
+  using core::SharedRandom;
+  return core::ShardSeeds{
+      SharedRandom::split_seed(cfg.channel_seed, kChannelStream, shard),
+      SharedRandom::split_seed(cfg.channel_seed, kImpairmentStream, shard),
+      SharedRandom::split_seed(cfg.jammer.seed, kJammerStream, shard),
+  };
+}
+
+core::LinkStats ParallelLinkRunner::run(const core::SimConfig& cfg) {
+  const std::size_t n_shards = options_.n_shards;
+  const std::size_t base = cfg.n_packets / n_shards;
+  const std::size_t extra = cfg.n_packets % n_shards;
+
+  std::vector<core::LinkStats> parts(n_shards);
+  pool_.parallel_for_shards(n_shards, [&](std::size_t shard) {
+    const std::size_t count = base + (shard < extra ? 1 : 0);
+    if (count == 0) return;
+    const std::size_t first = shard * base + std::min(shard, extra);
+    parts[shard] = core::run_link_shard(cfg, first, count, shard_seeds(cfg, shard));
+  });
+  return core::merge_link_stats(parts, cfg.payload_len);
+}
+
+double ParallelLinkRunner::min_snr_for_per(const core::SimConfig& cfg, double target_per,
+                                           double lo_db, double hi_db, double tol_db) {
+  return core::min_snr_for_per(
+      cfg, [this](const core::SimConfig& c) { return run(c).per(); }, target_per, lo_db,
+      hi_db, tol_db);
+}
+
+double ParallelLinkRunner::power_advantage_db(const core::SimConfig& a,
+                                              const core::SimConfig& b, double target_per) {
+  return min_snr_for_per(b, target_per) - min_snr_for_per(a, target_per);
+}
+
+}  // namespace bhss::runtime

@@ -1,0 +1,70 @@
+#pragma once
+
+/// @file parallel_link_runner.hpp
+/// Parallel deterministic Monte-Carlo engine for link experiments.
+///
+/// The paper evaluates 10 000 packets per data point (§6); the sequential
+/// `core::run_link` loop made that cost minutes per figure. The runner
+/// splits `SimConfig::n_packets` into a *fixed* number of shards, gives
+/// every shard a deterministically derived seed tuple (channel,
+/// impairments, jammer) via `core::SharedRandom::split_seed`, simulates
+/// shards on a `ThreadPool`, and merges the per-shard `LinkStats` in
+/// shard order.
+///
+/// Determinism contract: the merged result is a pure function of
+/// (SimConfig, n_shards). Thread count — 1, 8 or anything else — only
+/// changes wall time, never a single bit of the statistics. The contract
+/// is *fixed shards*, not fixed threads: comparing runs with different
+/// `n_shards` compares different (equally valid) random-stream draws.
+
+#include <cstdint>
+
+#include "core/link_simulator.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace bhss::runtime {
+
+/// Runner knobs. `n_shards` is part of the experiment's identity (see the
+/// determinism contract above); `n_threads` is not.
+struct RunnerOptions {
+  std::size_t n_threads = 0;  ///< total concurrency; 0 = hardware threads
+  std::size_t n_shards = 16;  ///< fixed shard count (>= 1)
+};
+
+/// Thread-pool-backed drop-in for `core::run_link` and the §6.3
+/// measurement procedures. One runner owns one pool; reuse it across data
+/// points so the workers persist.
+class ParallelLinkRunner {
+ public:
+  explicit ParallelLinkRunner(RunnerOptions options = {});
+
+  /// Parallel equivalent of `core::run_link(cfg)` under the determinism
+  /// contract. Shards `cfg.n_packets` as evenly as possible (the first
+  /// `n_packets % n_shards` shards get one extra packet); empty shards
+  /// are skipped.
+  [[nodiscard]] core::LinkStats run(const core::SimConfig& cfg);
+
+  /// Paper §6.3 bisection, with every PER probe sharded across the pool.
+  [[nodiscard]] double min_snr_for_per(const core::SimConfig& cfg, double target_per = 0.5,
+                                       double lo_db = -10.0, double hi_db = 45.0,
+                                       double tol_db = 0.5);
+
+  /// min-SNR(b) - min-SNR(a) in dB, both measured through the runner.
+  [[nodiscard]] double power_advantage_db(const core::SimConfig& a, const core::SimConfig& b,
+                                          double target_per = 0.5);
+
+  [[nodiscard]] std::size_t threads() const noexcept { return pool_.size(); }
+  [[nodiscard]] std::size_t shards() const noexcept { return options_.n_shards; }
+
+  /// The seed tuple shard `shard` runs with — exposed for the determinism
+  /// tests (golden values) and for reproducing a single shard in
+  /// isolation.
+  [[nodiscard]] static core::ShardSeeds shard_seeds(const core::SimConfig& cfg,
+                                                    std::size_t shard) noexcept;
+
+ private:
+  RunnerOptions options_;
+  ThreadPool pool_;
+};
+
+}  // namespace bhss::runtime

@@ -1,0 +1,93 @@
+#include "runtime/thread_pool.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/contracts.hpp"
+
+namespace bhss::runtime {
+
+std::size_t ThreadPool::hardware_threads() noexcept {
+  return std::max<std::size_t>(1, std::thread::hardware_concurrency());
+}
+
+ThreadPool::ThreadPool(std::size_t n_threads) {
+  if (n_threads == 0) n_threads = hardware_threads();
+  workers_.reserve(n_threads - 1);
+  for (std::size_t i = 0; i + 1 < n_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::scoped_lock lock(mutex_);
+    stop_ = true;
+  }
+  start_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::run_shards(const std::function<void(std::size_t)>& fn, std::size_t n_shards) {
+  for (;;) {
+    const std::size_t shard = next_shard_.fetch_add(1, std::memory_order_relaxed);
+    if (shard >= n_shards) break;
+    try {
+      fn(shard);
+    } catch (...) {
+      const std::scoped_lock lock(mutex_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+  }
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen_generation = 0;
+  std::unique_lock lock(mutex_);
+  for (;;) {
+    start_cv_.wait(lock, [&] { return stop_ || generation_ != seen_generation; });
+    if (stop_) return;
+    seen_generation = generation_;
+    const std::function<void(std::size_t)>* fn = job_fn_;
+    const std::size_t n_shards = job_shards_;
+    lock.unlock();
+    run_shards(*fn, n_shards);
+    lock.lock();
+    if (--workers_running_ == 0) done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::parallel_for_shards(std::size_t n_shards,
+                                     const std::function<void(std::size_t)>& fn) {
+  if (n_shards == 0) return;
+  BHSS_REQUIRE(static_cast<bool>(fn), "ThreadPool: shard function must be callable");
+
+  if (workers_.empty()) {
+    // Single-threaded pool: no handoff, run inline (still via the shared
+    // claim counter so behaviour matches the parallel path exactly).
+    next_shard_.store(0, std::memory_order_relaxed);
+    first_error_ = nullptr;
+    run_shards(fn, n_shards);
+    if (first_error_) std::rethrow_exception(std::exchange(first_error_, nullptr));
+    return;
+  }
+
+  {
+    const std::scoped_lock lock(mutex_);
+    job_fn_ = &fn;
+    job_shards_ = n_shards;
+    next_shard_.store(0, std::memory_order_relaxed);
+    first_error_ = nullptr;
+    workers_running_ = workers_.size();
+    ++generation_;
+  }
+  start_cv_.notify_all();
+
+  run_shards(fn, n_shards);  // the calling thread is one of the lanes
+
+  std::unique_lock lock(mutex_);
+  done_cv_.wait(lock, [&] { return workers_running_ == 0; });
+  if (first_error_) std::rethrow_exception(std::exchange(first_error_, nullptr));
+}
+
+}  // namespace bhss::runtime

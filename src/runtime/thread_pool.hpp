@@ -1,0 +1,70 @@
+#pragma once
+
+/// @file thread_pool.hpp
+/// Fixed-shard fork-join pool for the Monte-Carlo runtime. Deliberately
+/// work-stealing-free: work is expressed as a fixed number of independent
+/// shards, every shard writes only its own result slot, and the caller
+/// merges slots in shard order — so the *outcome* of a parallel run is a
+/// pure function of (inputs, n_shards), never of thread count or
+/// scheduling. Threads only decide how fast the answer arrives.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace bhss::runtime {
+
+/// Persistent fork-join worker pool.
+///
+/// `parallel_for_shards(n, fn)` runs fn(0) ... fn(n-1) exactly once each,
+/// distributed over the workers plus the calling thread, and returns when
+/// all shards finished. Shards are claimed from a shared atomic counter
+/// (no stealing, no per-shard queues); the first exception thrown by any
+/// shard is rethrown on the caller after the join.
+///
+/// Not reentrant: a shard must not call back into the same pool.
+class ThreadPool {
+ public:
+  /// @param n_threads total concurrency including the calling thread;
+  ///                  0 means hardware_threads(). With n_threads == 1 the
+  ///                  pool spawns no workers and runs shards inline.
+  explicit ThreadPool(std::size_t n_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total concurrency (workers + the calling thread).
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size() + 1; }
+
+  /// std::thread::hardware_concurrency(), clamped to >= 1.
+  [[nodiscard]] static std::size_t hardware_threads() noexcept;
+
+  /// Run fn(shard) for every shard in [0, n_shards); blocks until done.
+  void parallel_for_shards(std::size_t n_shards, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+  void run_shards(const std::function<void(std::size_t)>& fn, std::size_t n_shards);
+
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable start_cv_;  ///< wakes workers on a new generation
+  std::condition_variable done_cv_;   ///< wakes the caller when workers drain
+  std::uint64_t generation_ = 0;      ///< bumps once per parallel_for_shards
+  bool stop_ = false;
+  const std::function<void(std::size_t)>* job_fn_ = nullptr;
+  std::size_t job_shards_ = 0;
+  std::size_t workers_running_ = 0;
+  std::exception_ptr first_error_;
+
+  std::atomic<std::size_t> next_shard_{0};
+};
+
+}  // namespace bhss::runtime

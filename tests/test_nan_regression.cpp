@@ -52,7 +52,7 @@ TEST(NanPropagation, FirFilterPropagatesNan) {
 
 TEST(NanPropagation, FftConvolverPropagatesNan) {
   const dsp::fvec taps = dsp::design_lowpass(63, 0.2);
-  const dsp::FftConvolver conv(dsp::to_complex(taps));
+  dsp::FftConvolver conv(dsp::to_complex(taps));
   dsp::cvec x = impulse_train(512);
   x[100] = {0.0F, kNaN};
   const dsp::cvec y = conv.filter(x);
