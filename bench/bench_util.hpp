@@ -120,19 +120,31 @@ class JsonLine {
 
 /// Line-per-record JSON sink (JSONL). Disabled when the path is empty, so
 /// benches can call `log.write(...)` unconditionally.
+///
+/// Records are written to `<path>.tmp` and renamed onto `<path>` when the
+/// log is destroyed (normal bench completion). An aborted run therefore
+/// leaves only the .tmp file behind: the published path never holds a
+/// truncated half-written log that a downstream consumer would misread as
+/// a complete sweep.
 class JsonLog {
  public:
   JsonLog() = default;
-  explicit JsonLog(const std::string& path) {
+  explicit JsonLog(const std::string& path) : path_(path) {
     if (!path.empty()) {
-      file_ = std::fopen(path.c_str(), "w");
+      tmp_path_ = path + ".tmp";
+      file_ = std::fopen(tmp_path_.c_str(), "w");
       if (file_ == nullptr) {
-        std::fprintf(stderr, "bench: cannot open %s for writing\n", path.c_str());
+        std::fprintf(stderr, "bench: cannot open %s for writing\n", tmp_path_.c_str());
       }
     }
   }
   ~JsonLog() {
-    if (file_ != nullptr) std::fclose(file_);
+    if (file_ == nullptr) return;
+    std::fclose(file_);
+    if (std::rename(tmp_path_.c_str(), path_.c_str()) != 0) {
+      std::fprintf(stderr, "bench: cannot publish %s to %s\n", tmp_path_.c_str(),
+                   path_.c_str());
+    }
   }
   JsonLog(const JsonLog&) = delete;
   JsonLog& operator=(const JsonLog&) = delete;
@@ -147,6 +159,8 @@ class JsonLog {
   }
 
  private:
+  std::string path_;
+  std::string tmp_path_;
   std::FILE* file_ = nullptr;
 };
 

@@ -39,6 +39,13 @@ dsp::fvec smooth_psd(const dsp::fvec& psd, std::size_t half_width) {
   return out;
 }
 
+/// Fallback decision for a degenerate PSD estimate: no filter, flagged.
+FilterDecision degenerate_fallback() {
+  FilterDecision d;
+  d.degenerate_psd = true;
+  return d;
+}
+
 }  // namespace
 
 double msk_psd_shape(double f_norm, double sps) noexcept {
@@ -127,6 +134,13 @@ FilterDecision ControlLogic::force_excision(dsp::cspan slice, std::size_t bw_ind
   dsp::fvec psd = smooth_psd(estimate_psd(slice, n), std::max<std::size_t>(1, n / 512));
   const double passband = std::min(1.0, 2.0 * lpf_cutoff_frac(bw_index));
 
+  // Eq. (3) divides by sqrt(P): a degenerate estimate — every bin zero
+  // (an all-zero hop slice, e.g. a front-end dropout), a non-finite bin,
+  // or a ~zero in-band median — would synthesise Inf/NaN taps and corrupt
+  // the whole frame. Fall back to "no filter" and flag it instead.
+  if (!dsp::all_finite(dsp::fspan{psd})) return degenerate_fallback();
+  if (*std::max_element(psd.begin(), psd.end()) <= 0.0F) return degenerate_fallback();
+
   if (config_.excision_style == ExcisionStyle::template_notch) {
     // Normalise by the own-signal spectral template, then clamp the ratio
     // at its in-band median: bins where only the signal sits become 1
@@ -179,6 +193,11 @@ FilterDecision ControlLogic::decide(dsp::cspan slice, std::size_t bw_index) cons
   const double signal_frac = bands_.bandwidth_frac(bw_index);
   const auto sps = static_cast<double>(bands_.sps(bw_index));
 
+  // Validated-decision path: a degenerate estimate (non-finite bins from a
+  // corrupted capture, or an all-zero slice) cannot drive eq. (3)/(4) —
+  // every statistic below would be 0/0 or Inf. Decline to filter, loudly.
+  if (!dsp::all_finite(dsp::fspan{psd})) return degenerate_fallback();
+
   // Partition bins: nominal signal band vs outside (for the wide-band
   // test), and a flat spectral "core" where the template-normalised PSD of
   // a clean signal is level (for the narrow-band test).
@@ -205,6 +224,11 @@ FilterDecision ControlLogic::decide(dsp::cspan slice, std::size_t bw_index) cons
 
   const double in_level = in_sum / static_cast<double>(n_in);
   const double out_level = n_out > 0 ? out_sum / static_cast<double>(n_out) : 0.0;
+
+  // All-zero in-band spectrum (dead front-end / deep dropout): none of the
+  // level ratios below are meaningful and an excision design would divide
+  // by a ~zero median. Reachable from a live all-zero hop slice.
+  if (in_level <= 0.0) return degenerate_fallback();
 
   // Quartile statistic on the template-normalised core: a narrow-band
   // jammer lifts the top bins far above the bottom (clean) bins even when

@@ -51,6 +51,11 @@ struct FilterDecision {
   double est_jammer_bw_frac = 0.0;  ///< estimated jammer occupancy (frac of Rs)
   double inband_peak_over_median_db = 0.0;
   double oob_to_inband_level_db = -300.0;
+
+  /// The PSD estimate was degenerate (all-zero, non-finite, or a ~zero
+  /// in-band median) and the logic fell back to Kind::none rather than
+  /// synthesising Inf/NaN taps from eq. (3)'s 1/sqrt(P).
+  bool degenerate_psd = false;
 };
 
 /// Configuration of the estimator and the decision thresholds.

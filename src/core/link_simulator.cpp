@@ -6,6 +6,7 @@
 #include <optional>
 
 #include "channel/link_channel.hpp"
+#include "fault/fault_injector.hpp"
 #include "jammer/hopping_jammer.hpp"
 #include "jammer/noise_jammer.hpp"
 #include "jammer/reactive_jammer.hpp"
@@ -85,6 +86,7 @@ LinkStats run_link_shard(const SimConfig& cfg, std::size_t first_packet,
   JammerSpec spec = cfg.jammer;
   spec.seed = seeds.jammer;
   JammerBox jammer(spec, cfg.system.pattern.bands());
+  const fault::FaultInjector injector(cfg.faults);
 
   const double sample_rate = cfg.system.pattern.bands().sample_rate_hz();
   const bool genie = cfg.system.sync == SyncMode::genie;
@@ -117,7 +119,16 @@ LinkStats run_link_shard(const SimConfig& cfg, std::size_t first_packet,
     const dsp::cvec jam =
         jammer.waveform(t, cfg.system.pattern.bands(), link.tx_delay, total_len);
 
-    const dsp::cvec rx_signal = channel::transmit(t.samples, jam, link, noise);
+    dsp::cvec rx_signal = channel::transmit(t.samples, jam, link, noise);
+
+    // Transient faults between channel and receiver. The plan for packet
+    // `pkt` depends only on (faults.seed, pkt), never on the shard, so a
+    // sharded run degrades exactly like a sequential one.
+    if (injector.enabled()) {
+      const fault::FaultPlan plan = injector.plan_for_packet(pkt, rx_signal.size());
+      const fault::FaultLog applied = injector.apply(plan, rx_signal);
+      stats.faults_injected += applied.total();
+    }
 
     const std::size_t search_window = link.tx_delay + cfg.max_delay / 4 + 64;
     const RxResult res =
@@ -126,6 +137,10 @@ LinkStats run_link_shard(const SimConfig& cfg, std::size_t first_packet,
     ++stats.packets;
     stats.airtime_s += static_cast<double>(t.samples.size()) / sample_rate;
     if (res.frame_detected) ++stats.detected;
+    if (res.sync_lost) ++stats.sync_lost;
+    if (res.reacquired) ++stats.reacquired;
+    if (res.input_scrubbed) ++stats.corrupt_input_rejected;
+    stats.filter_fallback += res.filter_fallbacks;
     const bool delivered = res.crc_ok && res.payload == payload;
     if (delivered) ++stats.ok;
 
@@ -160,6 +175,11 @@ LinkStats merge_link_stats(const std::vector<LinkStats>& shards, std::size_t pay
     total.symbol_errors += s.symbol_errors;
     total.total_symbols += s.total_symbols;
     total.airtime_s += s.airtime_s;
+    total.sync_lost += s.sync_lost;
+    total.reacquired += s.reacquired;
+    total.filter_fallback += s.filter_fallback;
+    total.corrupt_input_rejected += s.corrupt_input_rejected;
+    total.faults_injected += s.faults_injected;
   }
   if (total.airtime_s > 0.0) {
     total.throughput_bps =

@@ -13,6 +13,7 @@
 #include "core/receiver.hpp"
 #include "core/system_config.hpp"
 #include "core/transmitter.hpp"
+#include "fault/fault_plan.hpp"
 
 namespace bhss::core {
 
@@ -52,6 +53,12 @@ struct SimConfig {
   bool impairments = true;        ///< random delay/phase/CFO per packet
   std::size_t max_delay = 192;    ///< arrival delay range [samples]
   float max_cfo = 2e-4F;          ///< |CFO| bound [rad/sample]
+
+  /// Transient fault matrix applied to every packet capture between the
+  /// channel and the receiver. Defaults to all-off. The per-packet fault
+  /// sequence is a pure function of (faults.seed, global packet index),
+  /// so sharding and thread count cannot change it.
+  fault::FaultConfig faults{};
 };
 
 /// Aggregated link statistics.
@@ -63,6 +70,15 @@ struct LinkStats {
   std::size_t total_symbols = 0;
   double airtime_s = 0.0;         ///< total waveform time on air
   double throughput_bps = 0.0;    ///< delivered payload bits / airtime
+
+  // Failure taxonomy (graceful degradation accounting): *how* frames were
+  // lost or saved, not just how many. Merged across shards like the
+  // counters above.
+  std::size_t sync_lost = 0;      ///< bounded re-acquisition exhausted
+  std::size_t reacquired = 0;     ///< frames acquired on a retry attempt
+  std::size_t filter_fallback = 0;   ///< degenerate-PSD control-logic fallbacks
+  std::size_t corrupt_input_rejected = 0;  ///< captures with NaN/Inf scrubbed
+  std::size_t faults_injected = 0;  ///< fault events applied by the injector
 
   [[nodiscard]] double per() const noexcept {
     return packets == 0 ? 1.0

@@ -86,8 +86,18 @@ RxResult BhssReceiver::receive(dsp::cspan rx, std::uint64_t frame_counter,
           ? HopSchedule::make(total_symbols, config_.symbols_per_hop, config_.pattern, rng)
           : HopSchedule::fixed(total_symbols, config_.pattern.bands(), config_.fixed_bw_index);
 
-  // Working copy — derotation happens in place after acquisition.
+  // Front-end boundary: a corrupted capture (NaN/Inf words from a faulted
+  // or saturated ADC) must not reach the PSD estimator or the correlators
+  // — one bad sample poisons every downstream statistic. Scrub such
+  // samples to zero (an erasure the despreader absorbs) and record the
+  // rejection instead of refusing the whole frame.
   dsp::cvec buffer(rx.begin(), rx.end());
+  for (dsp::cf& s : buffer) {
+    if (!std::isfinite(s.real()) || !std::isfinite(s.imag())) {
+      s = dsp::cf{0.0F, 0.0F};
+      result.input_scrubbed = true;
+    }
+  }
   std::size_t frame_start = genie_frame_start;
 
   if (config_.sync == SyncMode::preamble) {
@@ -98,33 +108,66 @@ RxResult BhssReceiver::receive(dsp::cspan rx, std::uint64_t frame_counter,
     const dsp::cvec reference = BhssTransmitter::modulate_symbols(
         preamble_syms, preamble_syms.size(), schedule, scrambler_seed);
 
-    // The paper filters before synchronisation (Fig. 6): decide a filter
-    // from the acquisition window, apply it to both the window and the
-    // reference so the correlation stays matched and the group delays
-    // cancel.
-    const std::size_t window_len =
-        std::min(rx.size(), search_window + reference.size() + 2 * config_.logic.psd_fft);
-    const dsp::cspan window = rx.first(window_len);
-    const FilterDecision decision =
-        choose_filter(window, schedule.segments.front().bw_index);
+    // Bounded re-acquisition state machine. Attempt 1 is the paper's
+    // chain (Fig. 6): decide a filter from the acquisition window, apply
+    // it to both the window and the reference so the correlation stays
+    // matched and the group delays cancel, then search [0, search_window].
+    // A transient that desynchronises the link — a clock glitch pushing
+    // the frame beyond the search window, a sync-targeting burst drowning
+    // the correlation peak — fails that attempt; instead of declaring the
+    // frame lost, retry with a geometrically widened lag window and a
+    // decayed threshold, and back off for good after max_attempts,
+    // classifying the frame as sync_lost (never decoding garbage).
+    const ReacquisitionConfig& reacq = config_.reacquisition;
+    const std::size_t max_attempts = std::max<std::size_t>(reacq.max_attempts, 1);
+    std::optional<sync::SyncEstimate> est;
+    double lag_scale = 1.0;
+    float threshold = config_.sync_threshold;
+    for (std::size_t attempt = 0; attempt < max_attempts && !est.has_value(); ++attempt) {
+      const std::size_t max_lag = std::min(
+          buffer.size(),
+          static_cast<std::size_t>(static_cast<double>(search_window) * lag_scale));
+      const std::size_t window_len =
+          std::min(buffer.size(), max_lag + reference.size() + 2 * config_.logic.psd_fft);
+      const dsp::cspan window = dsp::cspan{buffer}.first(window_len);
+      const FilterDecision decision =
+          choose_filter(window, schedule.segments.front().bw_index);
+      if (decision.degenerate_psd) ++result.filter_fallbacks;
 
-    dsp::cvec sync_window(window.begin(), window.end());
-    dsp::cvec sync_ref = reference;
-    if (decision.kind != FilterDecision::Kind::none) {
-      dsp::FftConvolver convolver{dsp::cspan{decision.taps}};
-      sync_window = convolver.filter(sync_window);
-      sync_ref = convolver.filter(sync_ref);
+      dsp::cvec sync_window(window.begin(), window.end());
+      dsp::cvec sync_ref = reference;
+      if (decision.kind != FilterDecision::Kind::none) {
+        dsp::FftConvolver convolver{dsp::cspan{decision.taps}};
+        sync_window = convolver.filter(sync_window);
+        sync_ref = convolver.filter(sync_ref);
+      }
+
+      const sync::PreambleSync acquirer(std::move(sync_ref), config_.sync_threshold);
+      est = acquirer.acquire(sync_window, max_lag, threshold);
+      ++result.sync_attempts;
+      // A retry runs with a lowered threshold over a widened window, where
+      // the largest of K pure-noise lags can clear the bar. Retry peaks
+      // must therefore also beat the CFAR margin over the correlation
+      // noise floor; the first attempt keeps the paper's single-threshold
+      // behaviour untouched.
+      if (attempt > 0 && est.has_value() && est->margin < reacq.min_margin) {
+        est.reset();
+      }
+      if (est.has_value()) {
+        // Second pass: regression over the preamble tightens phase and
+        // CFO so the per-hop carrier tracking starts inside its pull-in
+        // range even for long (narrow-bandwidth) frames.
+        *est = acquirer.refine(sync_window, *est);
+      } else {
+        lag_scale *= reacq.lag_widen;
+        threshold = std::max(reacq.min_threshold, threshold * reacq.threshold_decay);
+      }
     }
-
-    const sync::PreambleSync acquirer(std::move(sync_ref), config_.sync_threshold);
-    auto est = acquirer.acquire(sync_window, search_window);
-    if (!est.has_value()) return result;  // frame lost before decoding
-
-    // Second pass: regression over the preamble tightens phase and CFO so
-    // the per-hop carrier tracking starts inside its pull-in range even
-    // for long (narrow-bandwidth) frames.
-    *est = acquirer.refine(sync_window, *est);
-
+    if (!est.has_value()) {
+      result.sync_lost = true;  // bounded back-off exhausted
+      return result;
+    }
+    result.reacquired = result.sync_attempts > 1;
     result.sync = *est;
     result.frame_detected = true;
     frame_start = est->frame_start;
@@ -163,7 +206,8 @@ RxResult BhssReceiver::receive(dsp::cspan rx, std::uint64_t frame_counter,
     }
     result.hops.push_back({seg.bw_index, decision.kind, decision.est_jammer_bw_frac,
                            decision.inband_peak_over_median_db,
-                           decision.oob_to_inband_level_db});
+                           decision.oob_to_inband_level_db, decision.degenerate_psd});
+    if (decision.degenerate_psd) ++result.filter_fallbacks;
 
     // Remove the predicted residual rotation for this hop.
     dsp::cvec clean = filtered_slice(buffer, a0, needed, decision);

@@ -27,9 +27,13 @@ struct HopDiagnostics {
   double est_jammer_bw_frac = 0.0;
   double inband_peak_over_median_db = 0.0;
   double oob_to_inband_level_db = -300.0;
+  bool degenerate_psd = false;  ///< control logic fell back (validated path)
 };
 
-/// Outcome of one frame reception attempt.
+/// Outcome of one frame reception attempt, including the graceful-
+/// degradation taxonomy: how the receiver failed (or recovered) matters
+/// as much as whether it did — `run_link_shard` folds these into the
+/// merged `LinkStats` failure counters.
 struct RxResult {
   bool frame_detected = false;  ///< preamble found (always true for genie)
   bool crc_ok = false;          ///< frame passed SFD + CRC
@@ -37,6 +41,12 @@ struct RxResult {
   std::vector<std::uint8_t> symbols;  ///< decoded symbols (incl. preamble)
   sync::SyncEstimate sync{};
   std::vector<HopDiagnostics> hops;
+
+  std::size_t sync_attempts = 0;  ///< preamble search passes performed
+  bool reacquired = false;        ///< acquisition succeeded on a retry
+  bool sync_lost = false;         ///< every bounded search attempt failed
+  bool input_scrubbed = false;    ///< non-finite samples zeroed at the input
+  std::size_t filter_fallbacks = 0;  ///< degenerate-PSD fallbacks (sync + hops)
 };
 
 /// Frame receiver mirroring a BhssTransmitter with the same SystemConfig.

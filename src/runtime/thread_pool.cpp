@@ -35,8 +35,14 @@ void ThreadPool::run_shards(const std::function<void(std::size_t)>& fn, std::siz
     try {
       fn(shard);
     } catch (...) {
+      // Lowest shard index wins, not first-to-throw: which shard reaches
+      // its throw first depends on scheduling, and a caller debugging a
+      // failed run must see the same exception on every repeat.
       const std::scoped_lock lock(mutex_);
-      if (!first_error_) first_error_ = std::current_exception();
+      if (!error_ || shard < error_shard_) {
+        error_ = std::current_exception();
+        error_shard_ = shard;
+      }
     }
   }
 }
@@ -66,9 +72,9 @@ void ThreadPool::parallel_for_shards(std::size_t n_shards,
     // Single-threaded pool: no handoff, run inline (still via the shared
     // claim counter so behaviour matches the parallel path exactly).
     next_shard_.store(0, std::memory_order_relaxed);
-    first_error_ = nullptr;
+    error_ = nullptr;
     run_shards(fn, n_shards);
-    if (first_error_) std::rethrow_exception(std::exchange(first_error_, nullptr));
+    if (error_) std::rethrow_exception(std::exchange(error_, nullptr));
     return;
   }
 
@@ -77,7 +83,7 @@ void ThreadPool::parallel_for_shards(std::size_t n_shards,
     job_fn_ = &fn;
     job_shards_ = n_shards;
     next_shard_.store(0, std::memory_order_relaxed);
-    first_error_ = nullptr;
+    error_ = nullptr;
     workers_running_ = workers_.size();
     ++generation_;
   }
@@ -87,7 +93,7 @@ void ThreadPool::parallel_for_shards(std::size_t n_shards,
 
   std::unique_lock lock(mutex_);
   done_cv_.wait(lock, [&] { return workers_running_ == 0; });
-  if (first_error_) std::rethrow_exception(std::exchange(first_error_, nullptr));
+  if (error_) std::rethrow_exception(std::exchange(error_, nullptr));
 }
 
 }  // namespace bhss::runtime

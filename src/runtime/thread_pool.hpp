@@ -24,8 +24,10 @@ namespace bhss::runtime {
 /// `parallel_for_shards(n, fn)` runs fn(0) ... fn(n-1) exactly once each,
 /// distributed over the workers plus the calling thread, and returns when
 /// all shards finished. Shards are claimed from a shared atomic counter
-/// (no stealing, no per-shard queues); the first exception thrown by any
-/// shard is rethrown on the caller after the join.
+/// (no stealing, no per-shard queues). When shards throw, the exception
+/// from the LOWEST shard index is rethrown on the caller after the join —
+/// a deterministic choice, unlike first-to-throw, which would race with
+/// the scheduler and surface a different error on every run.
 ///
 /// Not reentrant: a shard must not call back into the same pool.
 class ThreadPool {
@@ -62,7 +64,8 @@ class ThreadPool {
   const std::function<void(std::size_t)>* job_fn_ = nullptr;
   std::size_t job_shards_ = 0;
   std::size_t workers_running_ = 0;
-  std::exception_ptr first_error_;
+  std::exception_ptr error_;        ///< from the lowest-index failing shard
+  std::size_t error_shard_ = 0;     ///< shard index error_ came from
 
   std::atomic<std::size_t> next_shard_{0};
 };

@@ -25,10 +25,12 @@ CorrelationPeak correlate_search(dsp::cspan x, dsp::cspan ref, std::size_t max_l
   double win_energy = dsp::energy(x.first(ref.size()));
 
   CorrelationPeak best;
+  double norm_sum = 0.0;
   for (std::size_t lag = 0; lag <= last_lag; ++lag) {
     const dsp::cf c = correlate_at(x, ref, lag);
     const double denom = std::sqrt(std::max(ref_energy * win_energy, 1e-30));
     const float norm = static_cast<float>(static_cast<double>(std::abs(c)) / denom);
+    norm_sum += static_cast<double>(norm);
     if (norm > best.normalized) {
       best.normalized = norm;
       best.value = c;
@@ -40,6 +42,8 @@ CorrelationPeak correlate_search(dsp::cspan x, dsp::cspan ref, std::size_t max_l
       win_energy = std::max(win_energy, 0.0);
     }
   }
+  best.mean_normalized =
+      static_cast<float>(norm_sum / static_cast<double>(last_lag + 1));
   return best;
 }
 

@@ -12,6 +12,11 @@ struct CorrelationPeak {
   std::size_t offset = 0;       ///< lag with the largest normalised magnitude
   dsp::cf value{0.0F, 0.0F};    ///< complex correlation at the peak
   float normalized = 0.0F;      ///< |value| / (||ref|| * ||window||), in [0, 1]
+  float mean_normalized = 0.0F; ///< mean normalised magnitude over all lags —
+                                ///< the correlation noise floor. A genuine
+                                ///< preamble stands far above it; the largest
+                                ///< of K noise lags only reaches ~sqrt(2 ln K)
+                                ///< times the underlying Rayleigh scale.
 };
 
 /// Complex cross-correlation of `x` against `ref` at a single lag:

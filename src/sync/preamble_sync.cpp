@@ -14,14 +14,16 @@ PreambleSync::PreambleSync(dsp::cvec reference, float threshold)
   BHSS_REQUIRE(ref_.size() >= 8, "PreambleSync: reference too short");
 }
 
-std::optional<SyncEstimate> PreambleSync::acquire(dsp::cspan x, std::size_t max_lag) const {
+std::optional<SyncEstimate> PreambleSync::acquire(dsp::cspan x, std::size_t max_lag,
+                                                  std::optional<float> threshold) const {
   if (x.size() < ref_.size()) return std::nullopt;
   const CorrelationPeak peak = correlate_search(x, ref_, max_lag);
-  if (peak.normalized < threshold_) return std::nullopt;
+  if (peak.normalized < threshold.value_or(threshold_)) return std::nullopt;
 
   SyncEstimate est;
   est.frame_start = peak.offset;
   est.quality = peak.normalized;
+  est.margin = peak.mean_normalized > 0.0F ? peak.normalized / peak.mean_normalized : 0.0F;
 
   // CFO from the phase drift between the two preamble halves: each half
   // correlation picks up the average phase over its span; the difference

@@ -19,6 +19,11 @@ struct SyncEstimate {
   float phase = 0.0F;           ///< carrier phase offset [rad]
   float cfo = 0.0F;             ///< carrier frequency offset [rad/sample]
   float quality = 0.0F;         ///< normalised correlation peak, [0, 1]
+  float margin = 0.0F;          ///< peak over the correlation noise floor
+                                ///< (mean normalised magnitude across the
+                                ///< searched lags); CFAR-style statistic a
+                                ///< lowered re-acquisition threshold can
+                                ///< validate against
 };
 
 /// Preamble-based synchroniser.
@@ -32,7 +37,11 @@ class PreambleSync {
 
   /// Search `x` over lags [0, max_lag] for the preamble. Returns nullopt
   /// when no lag reaches the acceptance threshold (frame lost).
-  [[nodiscard]] std::optional<SyncEstimate> acquire(dsp::cspan x, std::size_t max_lag) const;
+  /// @param threshold  optional per-call acceptance threshold override;
+  ///                   the receiver's bounded re-acquisition lowers it on
+  ///                   retries without rebuilding the synchroniser.
+  [[nodiscard]] std::optional<SyncEstimate> acquire(
+      dsp::cspan x, std::size_t max_lag, std::optional<float> threshold = std::nullopt) const;
 
   /// Refine a coarse estimate by regressing block-wise data-aided phase
   /// measurements over the whole preamble. The coarse two-half CFO

@@ -100,6 +100,28 @@ TEST(Impairments, FractionalDelayInterpolates) {
   EXPECT_THROW((void)apply_fractional_delay(x, 1.0), std::invalid_argument);
 }
 
+TEST(Impairments, FractionalDelayEdgeCases) {
+  // frac == 0 is the identity up to the interpolator's one-sample tail:
+  // the fault injector's clock jump calls this with an arbitrary draw in
+  // [0, 1), so the degenerate endpoint must be exact, not approximate.
+  const dsp::cvec x = {dsp::cf{1.0F, 2.0F}, dsp::cf{-3.0F, 0.5F}, dsp::cf{0.0F, -1.0F}};
+  const dsp::cvec y = apply_fractional_delay(x, 0.0);
+  ASSERT_EQ(y.size(), x.size() + 1);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_EQ(y[i], x[i]) << "i=" << i;
+  }
+  EXPECT_EQ(y.back(), (dsp::cf{0.0F, 0.0F}));
+
+  // An empty capture stays well-defined (one zero sample of tail), so
+  // callers need no special case before the interpolator.
+  const dsp::cvec none = apply_fractional_delay(dsp::cvec{}, 0.7);
+  ASSERT_EQ(none.size(), 1U);
+  EXPECT_EQ(none[0], (dsp::cf{0.0F, 0.0F}));
+
+  // Negative fractions are rejected like frac >= 1.
+  EXPECT_THROW((void)apply_fractional_delay(x, -0.1), std::invalid_argument);
+}
+
 TEST(LinkChannel, SnrCalibration) {
   // A constant-envelope "signal" through the channel: measured SNR at the
   // output must match the configuration.

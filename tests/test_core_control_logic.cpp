@@ -134,6 +134,30 @@ TEST(ControlLogic, RejectsBadPsdSize) {
   EXPECT_THROW(ControlLogic(cfg, BandwidthSet::paper()), std::invalid_argument);
 }
 
+TEST(ControlLogic, DegeneratePsdFallsBackToNoFilterInsteadOfThrowing) {
+  // An all-zero hop slice (deep fade, scrubbed burst, muted front end) has
+  // a degenerate PSD: eq. (3)'s 1/sqrt(P) whitening taps would be Inf.
+  // The validated decision path must fall back to Kind::none and flag the
+  // fallback rather than synthesise non-finite taps or throw out of the
+  // receiver's per-hop loop.
+  const BandwidthSet bands = BandwidthSet::paper();
+  const ControlLogic logic({}, bands);
+  const dsp::cvec silence(8192, dsp::cf{0.0F, 0.0F});
+
+  const FilterDecision adaptive = logic.decide(silence, 0);
+  EXPECT_EQ(adaptive.kind, FilterDecision::Kind::none);
+  EXPECT_TRUE(adaptive.degenerate_psd);
+  EXPECT_TRUE(adaptive.taps.empty());
+
+  const FilterDecision forced = logic.force_excision(silence, 0);
+  EXPECT_EQ(forced.kind, FilterDecision::Kind::none);
+  EXPECT_TRUE(forced.degenerate_psd);
+
+  // A healthy slice keeps the flag clear.
+  const dsp::cvec slice = make_slice(bands, 0, 15.0, -300.0, 1.0, 21);
+  EXPECT_FALSE(logic.decide(slice, 0).degenerate_psd);
+}
+
 TEST(MskPsdShape, UnitAtDcAndDecaying) {
   EXPECT_NEAR(msk_psd_shape(0.0, 8.0), 1.0, 1e-12);
   // Monotone decreasing over the main lobe.

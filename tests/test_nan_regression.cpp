@@ -1,9 +1,12 @@
 // NaN-propagation regression tests. The raw DSP kernels propagate NaN
 // arithmetically (that is IEEE-754, not a bug), which is exactly why the
-// receiver needs finite-ness contracts at its boundaries: a single
-// poisoned sample would otherwise flow through filter selection,
+// boundaries above them must deal with poisoned buffers explicitly: a
+// single bad sample would otherwise flow through filter selection,
 // despreading and the CRC and come out the far side as a silently wrong
-// BER measurement. These tests pin both halves of that story.
+// BER measurement. The DSP/channel boundaries reject loudly (contracts);
+// the receiver front end degrades gracefully instead — it scrubs
+// non-finite samples to zero-sample erasures, flags the capture, and
+// keeps decoding. These tests pin all three layers of that story.
 
 #include <gtest/gtest.h>
 
@@ -89,10 +92,12 @@ TEST(NanRejection, ChannelRejectsNanWaveform) {
   EXPECT_THROW(auto y = channel::transmit(tx, {}, link, noise), contract_violation);
 }
 
-TEST(NanRejection, ReceiverRejectsPoisonedCaptureInsteadOfGarbageBer) {
+TEST(NanRejection, ReceiverScrubsPoisonedCaptureInsteadOfGarbageBer) {
   // End to end: a valid frame whose capture is then poisoned with a burst
-  // of NaN must make the receiver throw at the filter-selection boundary,
-  // not hand back a frame full of garbage symbols.
+  // of NaN must not poison the decode. The receiver scrubs the bad
+  // samples to zero erasures before they can reach the PSD estimator or
+  // the correlators, reports the capture via `input_scrubbed`, and
+  // decodes the rest of the frame normally.
   core::SystemConfig cfg;
   cfg.pattern = core::HopPattern::make(core::HopPatternType::linear,
                                        core::BandwidthSet::paper());
@@ -112,16 +117,21 @@ TEST(NanRejection, ReceiverRejectsPoisonedCaptureInsteadOfGarbageBer) {
   link.tail_pad = 64;
   dsp::cvec sig = channel::transmit(t.samples, {}, link, noise);
 
-  // Sanity: the clean capture decodes.
+  // Sanity: the clean capture decodes and is not reported as scrubbed.
   const core::RxResult clean = rx.receive(sig, 1, payload.size(), 0, 41);
   ASSERT_TRUE(clean.crc_ok);
   ASSERT_EQ(clean.payload, payload);
+  EXPECT_FALSE(clean.input_scrubbed);
 
-  // Poison a stretch in the middle of the frame.
+  // Poison a stretch in the middle of the frame. The decode must survive
+  // (a 32-sample erasure is far below the processing gain) and the
+  // result must be flagged — silent acceptance would hide a faulty ADC.
   for (std::size_t i = sig.size() / 2; i < sig.size() / 2 + 32; ++i) sig[i] = {kNaN, kNaN};
-  EXPECT_THROW(auto r = rx.receive(sig, 1, payload.size(), 0, 41), contract_violation);
-  // And it stays catchable through the legacy exception type.
-  EXPECT_THROW(auto r = rx.receive(sig, 1, payload.size(), 0, 41), std::invalid_argument);
+  core::RxResult scrubbed;
+  EXPECT_NO_THROW(scrubbed = rx.receive(sig, 1, payload.size(), 0, 41));
+  EXPECT_TRUE(scrubbed.input_scrubbed);
+  EXPECT_TRUE(scrubbed.crc_ok);
+  EXPECT_EQ(scrubbed.payload, payload);
 }
 
 }  // namespace

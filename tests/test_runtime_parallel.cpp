@@ -84,6 +84,25 @@ TEST(ThreadPool, ExceptionOnInlinePool) {
       std::runtime_error);
 }
 
+TEST(ThreadPool, ConcurrentThrowsSurfaceTheLowestShard) {
+  // Two shards throw on every round. Which one *reaches* its throw first
+  // depends on scheduling, but the rethrown exception must always come
+  // from the lowest shard index — a failed run reports the same error on
+  // every repeat.
+  ThreadPool pool(4);
+  for (int round = 0; round < 40; ++round) {
+    try {
+      pool.parallel_for_shards(16, [](std::size_t i) {
+        if (i == 2) throw std::runtime_error("shard 2 failed");
+        if (i == 9) throw std::runtime_error("shard 9 failed");
+      });
+      FAIL() << "expected parallel_for_shards to throw";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "shard 2 failed") << "round " << round;
+    }
+  }
+}
+
 // ----------------------------------------------------------------- seed split
 
 TEST(SeedSplit, GoldenValuesAreStableAcrossPlatforms) {

@@ -67,6 +67,53 @@ TEST(PreambleSync, NoSignalReturnsNullopt) {
   EXPECT_FALSE(sync.acquire(rx, 2048).has_value());
 }
 
+TEST(PreambleSync, BelowThresholdReturnsNulloptAndOverrideRules) {
+  // The same capture, the same synchroniser: acceptance is decided purely
+  // by the effective threshold. The per-call override is what the
+  // receiver's bounded re-acquisition leans on, so both directions are
+  // pinned — a raise rejects a genuine peak, a lower keeps accepting it.
+  const dsp::cvec ref = random_reference(1024, 5);
+  dsp::cvec rx = channel::apply_delay(ref, 64, 64 + ref.size() + 256);
+  channel::AwgnSource noise(11);
+  noise.add_to(dsp::cspan_mut{rx}, 0.25);
+
+  const PreambleSync sync(ref, 0.3F);
+  const auto est = sync.acquire(rx, 512);
+  ASSERT_TRUE(est.has_value());
+  EXPECT_EQ(est->frame_start, 64U);
+  ASSERT_LT(est->quality, 0.999F);
+  // Raising the bar above the measured quality must reject the peak.
+  EXPECT_FALSE(sync.acquire(rx, 512, est->quality + 0.001F).has_value());
+  // Lowering it must keep accepting the same peak.
+  const auto relaxed = sync.acquire(rx, 512, 0.05F);
+  ASSERT_TRUE(relaxed.has_value());
+  EXPECT_EQ(relaxed->frame_start, 64U);
+}
+
+TEST(PreambleSync, MarginSeparatesRealPeaksFromLuckyNoise) {
+  // CFAR statistic behind re-acquisition: a genuine preamble stands far
+  // above the correlation noise floor, while the best of a few hundred
+  // pure-noise lags only reaches ~sqrt(2 ln K) times the floor. The 4.5x
+  // default retry margin must sit between the two populations.
+  const dsp::cvec ref = random_reference(1024, 8);
+  dsp::cvec rx = channel::apply_delay(ref, 100, 100 + ref.size() + 512);
+  channel::AwgnSource noise(13);
+  noise.add_to(dsp::cspan_mut{rx}, 0.1);
+
+  const PreambleSync sync(ref, 0.3F);
+  const auto real_peak = sync.acquire(rx, 512);
+  ASSERT_TRUE(real_peak.has_value());
+  EXPECT_GT(real_peak->margin, 4.5F);
+
+  channel::AwgnSource other(17);
+  const dsp::cvec pure_noise = other.generate(rx.size(), 1.0);
+  // Force acceptance with a tiny threshold so the noise peak's margin is
+  // observable at all.
+  const auto noise_peak = sync.acquire(pure_noise, 512, 0.001F);
+  ASSERT_TRUE(noise_peak.has_value());
+  EXPECT_LT(noise_peak->margin, 4.5F);
+}
+
 TEST(PreambleSync, RefinementReducesResidualAtFrameEnd) {
   // Long reference + CFO: the coarse two-half estimate leaves a residual
   // that matters at open-loop range; refine() must shrink the phase error
