@@ -9,14 +9,12 @@
 
 #include "bench_util.hpp"
 #include "core/link_simulator.hpp"
-#include "runtime/parallel_link_runner.hpp"
 
 int main(int argc, char** argv) {
   using namespace bhss;
   const bench::Options opt = bench::parse_options(argc, argv, 15);
   bench::header("Ablation", "hop dwell vs reactive jammer reaction time (SER)");
-  runtime::ParallelLinkRunner runner({.n_threads = opt.threads});
-  bench::JsonLog log(opt.json_path);
+  bench::Campaign campaign(opt, "ablation_hop_dwell");
 
   const core::BandwidthSet bands = core::BandwidthSet::paper();
   const std::vector<std::size_t> dwells = {1, 2, 4, 8, 16};
@@ -27,39 +25,43 @@ int main(int argc, char** argv) {
   for (std::size_t tau : taus) std::printf("  %10zu", tau);
   std::printf("\n");
 
-  for (std::size_t dwell : dwells) {
-    std::printf("%-18zu", dwell);
-    for (std::size_t tau : taus) {
-      core::SimConfig cfg;
-      cfg.system.pattern = core::HopPattern::make(core::HopPatternType::linear, bands);
-      cfg.system.hopping = true;
-      cfg.system.symbols_per_hop = dwell;
-      cfg.payload_len = 6;
-      cfg.n_packets = opt.packets;
-      cfg.channel_seed = opt.seed;
-      cfg.snr_db = 15.0;
-      cfg.jnr_db = 30.0;
-      cfg.jammer.kind = core::JammerSpec::Kind::reactive;
-      cfg.jammer.reaction_delay = tau;
-      const bench::Stopwatch watch;
-      const core::LinkStats s = runner.run(cfg);
-      const double wall_s = watch.seconds();
-      std::printf("  %10.3f", s.ser());
-      std::fflush(stdout);
-      log.write(bench::JsonLine()
-                    .add("figure", "ablation_hop_dwell")
-                    .add("dwell_symbols", dwell)
-                    .add("tau_samples", tau)
-                    .add("ser", s.ser())
-                    .add("per", s.per())
-                    .add("packets", s.packets)
-                    .add("threads", runner.threads())
-                    .add("shards", runner.shards())
-                    .add("wall_s", wall_s)
-                    .add("packets_per_s",
-                         wall_s > 0.0 ? static_cast<double>(s.packets) / wall_s : 0.0));
+  try {
+    for (std::size_t dwell : dwells) {
+      std::printf("%-18zu", dwell);
+      for (std::size_t tau : taus) {
+        core::SimConfig cfg;
+        cfg.system.pattern = core::HopPattern::make(core::HopPatternType::linear, bands);
+        cfg.system.hopping = true;
+        cfg.system.symbols_per_hop = dwell;
+        cfg.payload_len = 6;
+        cfg.n_packets = opt.packets;
+        cfg.channel_seed = opt.seed;
+        cfg.snr_db = 15.0;
+        cfg.jnr_db = 30.0;
+        cfg.jammer.kind = core::JammerSpec::Kind::reactive;
+        cfg.jammer.reaction_delay = tau;
+        char point[48];
+        std::snprintf(point, sizeof(point), "dwell%zu_tau%zu", dwell, tau);
+        const bench::Stopwatch watch;
+        const core::LinkStats s = campaign.run_point(point, cfg);
+        std::printf("  %10.3f", s.ser());
+        std::fflush(stdout);
+        campaign.emit(point, runtime::CampaignRunner::params_hash(cfg, campaign.shards()),
+                      bench::JsonLine()
+                          .add("figure", "ablation_hop_dwell")
+                          .add("dwell_symbols", dwell)
+                          .add("tau_samples", tau)
+                          .add("ser", s.ser())
+                          .add("per", s.per())
+                          .add("packets", s.packets)
+                          .add("shards", campaign.shards()),
+                      watch.seconds());
+      }
+      std::printf("\n");
     }
+  } catch (const runtime::CampaignInterrupted&) {
     std::printf("\n");
+    return campaign.abandon_resumable();
   }
 
   std::printf("\n# expected: SER shrinks along each row — a slower jammer spends a\n"
@@ -67,5 +69,5 @@ int main(int argc, char** argv) {
               "# matters less than tau here because a 'symbol' dwell lasts 64x\n"
               "# longer at the narrowest bandwidth than at the widest, so the\n"
               "# narrow hops dominate the matched-time budget at every setting.\n");
-  return 0;
+  return campaign.finish();
 }

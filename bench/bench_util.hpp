@@ -2,32 +2,77 @@
 
 /// @file bench_util.hpp
 /// Shared helpers for the per-figure bench harnesses: command-line knobs,
-/// table printing, wall-clock timing and machine-readable output. Every
-/// sample-domain bench accepts
-///   --packets=N   packets per data point (default: quick CI setting;
-///                 the paper used 10 000)
-///   --seed=N      channel seed
-///   --jnr=dB      jammer-to-noise ratio
-///   --threads=N   Monte-Carlo worker threads (default: hardware
-///                 concurrency; determinism is per shard count, so this
-///                 only changes wall time)
-///   --json=PATH   append one JSON object per data point to PATH, so the
-///                 perf/accuracy trajectory can be tracked across PRs
+/// table printing, wall-clock timing, machine-readable output and the
+/// campaign checkpoint/resume plumbing. Every bench accepts
+///   --packets=N        packets per data point (default: quick CI setting;
+///                      the paper used 10 000)
+///   --seed=N           channel seed
+///   --jnr=dB           jammer-to-noise ratio
+///   --threads=N        Monte-Carlo worker threads (default: hardware
+///                      concurrency; determinism is per shard count, so
+///                      this only changes wall time)
+///   --shards=N         fixed Monte-Carlo shard count (part of the
+///                      experiment identity — see ParallelLinkRunner)
+///   --json=PATH        write one JSON object per data point to PATH
+///                      (JSONL); wall-clock timings go to PATH.timing
+///   --checkpoint=PATH  journal completed (data-point, shard) work units
+///                      to PATH; SIGINT/SIGTERM drain gracefully and exit
+///                      with status 75 (resumable)
+///   --resume=PATH      replay the journal at PATH, re-run only missing
+///                      units, keep checkpointing to the same file
+///   --shard-timeout=S  per-shard watchdog budget in seconds (0 = off):
+///                      overrunning shards are retried with backoff, then
+///                      quarantined as `shard_timeout` in the taxonomy
+///
+/// Every JSONL record is stamped with `schema_version` and the build's
+/// git SHA, so journals merged from different binaries are detectable.
 
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <optional>
 #include <string>
 
+#include "core/link_simulator.hpp"
+#include "runtime/campaign.hpp"
+
 namespace bhss::bench {
+
+/// Version of the bench JSONL record layout. Bump when record fields
+/// change meaning; consumers refuse to merge mixed-schema journals.
+inline constexpr std::size_t kSchemaVersion = 2;
+
+/// Exit status of a gracefully drained (SIGINT/SIGTERM) checkpointed
+/// campaign: the run is incomplete but everything finished is journaled —
+/// rerun with --resume to continue. 75 = BSD EX_TEMPFAIL.
+inline constexpr int kExitResumable = 75;
+
+/// Short git SHA baked in at configure time (bench/CMakeLists.txt);
+/// "unknown" outside a git checkout.
+inline const char* build_git_sha() {
+#ifdef BHSS_GIT_SHA
+  return BHSS_GIT_SHA;
+#else
+  return "unknown";
+#endif
+}
 
 struct Options {
   std::size_t packets = 12;
   std::uint64_t seed = 7;
   double jnr_db = 30.0;
-  std::size_t threads = 0;  ///< 0 = hardware concurrency
-  std::string json_path;    ///< empty = JSON output disabled
+  std::size_t threads = 0;        ///< 0 = hardware concurrency
+  std::size_t shards = 16;        ///< fixed shard count (experiment identity)
+  std::string json_path;          ///< empty = JSON output disabled
+  std::string checkpoint_path;    ///< empty = checkpointing disabled
+  std::string resume_path;        ///< non-empty = resume this journal
+  double shard_timeout_s = 0.0;   ///< watchdog budget per shard; 0 = off
+
+  /// Journal path in effect (resume wins over checkpoint).
+  [[nodiscard]] const std::string& journal_path() const noexcept {
+    return resume_path.empty() ? checkpoint_path : resume_path;
+  }
 };
 
 inline Options parse_options(int argc, char** argv, std::size_t default_packets = 12) {
@@ -42,10 +87,20 @@ inline Options parse_options(int argc, char** argv, std::size_t default_packets 
       opt.jnr_db = std::strtod(argv[i] + 6, nullptr);
     } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
       opt.threads = static_cast<std::size_t>(std::strtoull(argv[i] + 10, nullptr, 10));
+    } else if (std::strncmp(argv[i], "--shards=", 9) == 0) {
+      opt.shards = static_cast<std::size_t>(std::strtoull(argv[i] + 9, nullptr, 10));
     } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
       opt.json_path = argv[i] + 7;
+    } else if (std::strncmp(argv[i], "--checkpoint=", 13) == 0) {
+      opt.checkpoint_path = argv[i] + 13;
+    } else if (std::strncmp(argv[i], "--resume=", 9) == 0) {
+      opt.resume_path = argv[i] + 9;
+    } else if (std::strncmp(argv[i], "--shard-timeout=", 16) == 0) {
+      opt.shard_timeout_s = std::strtod(argv[i] + 16, nullptr);
     } else if (std::strcmp(argv[i], "--help") == 0) {
-      std::printf("usage: %s [--packets=N] [--seed=N] [--jnr=dB] [--threads=N] [--json=PATH]\n",
+      std::printf("usage: %s [--packets=N] [--seed=N] [--jnr=dB] [--threads=N] [--shards=N]\n"
+                  "          [--json=PATH] [--checkpoint=PATH] [--resume=PATH]\n"
+                  "          [--shard-timeout=S]\n",
                   argv[0]);
       std::exit(0);
     }
@@ -118,50 +173,229 @@ class JsonLine {
   std::string body_;
 };
 
+/// Append the schema/build provenance keys every published record carries.
+inline JsonLine& stamp_record(JsonLine& line) {
+  return line.add("schema_version", kSchemaVersion).add("git_sha", build_git_sha());
+}
+
+/// Delete a stale `<path>.tmp` left behind by a killed run (the staging
+/// file of the atomic-rename publish below). Harmless when absent.
+inline void remove_stale_tmp(const std::string& path) {
+  if (path.empty()) return;
+  const std::string tmp = path + ".tmp";
+  if (std::remove(tmp.c_str()) == 0) {
+    std::fprintf(stderr, "bench: removed stale %s from an aborted run\n", tmp.c_str());
+  }
+}
+
 /// Line-per-record JSON sink (JSONL). Disabled when the path is empty, so
 /// benches can call `log.write(...)` unconditionally.
 ///
 /// Records are written to `<path>.tmp` and renamed onto `<path>` when the
 /// log is destroyed (normal bench completion). An aborted run therefore
-/// leaves only the .tmp file behind: the published path never holds a
-/// truncated half-written log that a downstream consumer would misread as
-/// a complete sweep.
+/// leaves only the .tmp file behind (cleaned up at the next bench start):
+/// the published path never holds a truncated half-written log that a
+/// downstream consumer would misread as a complete sweep.
 class JsonLog {
  public:
   JsonLog() = default;
-  explicit JsonLog(const std::string& path) : path_(path) {
-    if (!path.empty()) {
-      tmp_path_ = path + ".tmp";
-      file_ = std::fopen(tmp_path_.c_str(), "w");
-      if (file_ == nullptr) {
-        std::fprintf(stderr, "bench: cannot open %s for writing\n", tmp_path_.c_str());
-      }
+  explicit JsonLog(const std::string& path) { open(path); }
+  ~JsonLog() { publish(); }
+  JsonLog(const JsonLog&) = delete;
+  JsonLog& operator=(const JsonLog&) = delete;
+
+  void open(const std::string& path) {
+    if (path.empty()) return;
+    remove_stale_tmp(path);
+    path_ = path;
+    tmp_path_ = path + ".tmp";
+    file_ = std::fopen(tmp_path_.c_str(), "w");
+    if (file_ == nullptr) {
+      std::fprintf(stderr, "bench: cannot open %s for writing\n", tmp_path_.c_str());
     }
   }
-  ~JsonLog() {
+
+  [[nodiscard]] bool enabled() const noexcept { return file_ != nullptr; }
+
+  /// Stamp provenance keys and append the record.
+  void write(JsonLine line) {
+    if (file_ == nullptr) return;
+    write_raw(stamp_record(line).str());
+  }
+
+  /// Append an already-final record verbatim (journal replays: the bytes
+  /// must match what the original run published).
+  void write_raw(const std::string& record) {
+    if (file_ == nullptr) return;
+    std::fprintf(file_, "%s\n", record.c_str());
+    std::fflush(file_);
+  }
+
+  /// Close WITHOUT publishing: the staged .tmp stays on disk for the next
+  /// run's stale-tmp cleanup. Used when a campaign drains mid-sweep — an
+  /// incomplete JSONL must never land on the published path.
+  void abandon() {
     if (file_ == nullptr) return;
     std::fclose(file_);
+    file_ = nullptr;
+  }
+
+ private:
+  void publish() {
+    if (file_ == nullptr) return;
+    std::fclose(file_);
+    file_ = nullptr;
     if (std::rename(tmp_path_.c_str(), path_.c_str()) != 0) {
       std::fprintf(stderr, "bench: cannot publish %s to %s\n", tmp_path_.c_str(),
                    path_.c_str());
     }
   }
-  JsonLog(const JsonLog&) = delete;
-  JsonLog& operator=(const JsonLog&) = delete;
 
-  [[nodiscard]] bool enabled() const noexcept { return file_ != nullptr; }
-
-  void write(const JsonLine& line) {
-    if (file_ == nullptr) return;
-    const std::string s = line.str();
-    std::fprintf(file_, "%s\n", s.c_str());
-    std::fflush(file_);
-  }
-
- private:
   std::string path_;
   std::string tmp_path_;
   std::FILE* file_ = nullptr;
+};
+
+/// Tiny FNV-1a fingerprint for analytic data points (model parameters,
+/// loop indices) — the analytic benches' analogue of
+/// CampaignRunner::params_hash. Floats hash as IEEE-754 bit patterns.
+class ParamsHash {
+ public:
+  ParamsHash& add(std::uint64_t v) noexcept {
+    for (int i = 0; i < 8; ++i) byte(static_cast<std::uint8_t>(v >> (8 * i)));
+    return *this;
+  }
+  ParamsHash& add(double v) noexcept {
+    static_assert(sizeof(double) == sizeof(std::uint64_t));
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(bits));
+    return add(bits);
+  }
+  ParamsHash& add(const char* s) noexcept {
+    for (; *s != '\0'; ++s) byte(static_cast<std::uint8_t>(*s));
+    byte(0);
+    return *this;
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept { return hash_; }
+
+ private:
+  void byte(std::uint8_t b) noexcept {
+    hash_ ^= b;
+    hash_ *= 0x100000001B3ULL;
+  }
+  std::uint64_t hash_ = 0xCBF29CE484222325ULL;
+};
+
+/// One checkpointable bench run: owns the JSONL sink, the timing sidecar,
+/// the checkpoint journal and the campaign runner, and wires the
+/// command-line Options through all of them.
+///
+/// Two kinds of data point:
+///  - Monte-Carlo points go through run_point()/min_snr_for_per(), which
+///    checkpoint at (point, shard) granularity and merge bit-identically
+///    across kills and resumes.
+///  - Analytic points (closed-form model evaluations) use
+///    replay_point()/emit(): the published record itself is the journaled
+///    unit, replayed byte-for-byte on resume.
+///
+/// Timings are deliberately kept OUT of the published JSONL (they go to
+/// `<json>.timing`): every published field is a pure function of the
+/// configuration, which is what makes "resumed output is bit-identical to
+/// an uninterrupted run" a testable guarantee rather than a hope.
+class Campaign {
+ public:
+  Campaign(const Options& opt, const char* figure_id) : figure_(figure_id) {
+    const std::string& journal_path = opt.journal_path();
+    if (!journal_path.empty()) {
+      remove_stale_tmp(journal_path);
+      journal_.open(journal_path, figure_, static_cast<int>(kSchemaVersion), build_git_sha(),
+                    /*resume=*/!opt.resume_path.empty());
+      runtime::CampaignRunner::install_signal_handlers();
+      if (journal_.replayed_records() > 0) {
+        std::fprintf(stderr, "%s: resuming from %s (%zu journaled units%s)\n",
+                     figure_.c_str(), journal_path.c_str(), journal_.replayed_records(),
+                     journal_.tail_truncated() ? ", torn tail dropped" : "");
+      }
+    }
+    runner_.emplace(
+        runtime::CampaignOptions{.n_threads = opt.threads,
+                                 .n_shards = opt.shards,
+                                 .shard_timeout_s = opt.shard_timeout_s},
+        journal_.is_open() ? &journal_ : nullptr);
+    log_.open(opt.json_path);
+    if (!opt.json_path.empty()) timing_.open(opt.json_path + ".timing");
+  }
+
+  [[nodiscard]] runtime::CampaignRunner& runner() noexcept { return *runner_; }
+  [[nodiscard]] std::size_t threads() const noexcept { return runner_->threads(); }
+  [[nodiscard]] std::size_t shards() const noexcept { return runner_->shards(); }
+  [[nodiscard]] bool json_enabled() const noexcept { return log_.enabled(); }
+
+  /// Monte-Carlo data point (see CampaignRunner::run_point).
+  [[nodiscard]] core::LinkStats run_point(const std::string& point_id,
+                                          const core::SimConfig& cfg) {
+    return runner_->run_point(point_id, cfg);
+  }
+
+  /// Checkpointed §6.3 bisection (see CampaignRunner::min_snr_for_per).
+  [[nodiscard]] double min_snr_for_per(const std::string& point_id,
+                                       const core::SimConfig& cfg,
+                                       double target_per = 0.5) {
+    return runner_->min_snr_for_per(point_id, cfg, target_per);
+  }
+
+  /// Analytic point: when `point_id` is journaled under `params_hash`,
+  /// republish the stored record verbatim and return true (caller skips
+  /// the computation). Checks for a drain request at the point boundary.
+  [[nodiscard]] bool replay_point(const std::string& point_id, std::uint64_t params_hash) {
+    if (runtime::CampaignRunner::interrupt_requested()) {
+      journal_.flush();
+      throw runtime::CampaignInterrupted();
+    }
+    if (!journal_.is_open()) return false;
+    if (const std::string* record = journal_.find_point({point_id, params_hash})) {
+      log_.write_raw(*record);
+      return true;
+    }
+    return false;
+  }
+
+  /// Publish one data-point record: stamp provenance, append to the
+  /// JSONL log, journal it (so resume republishes these exact bytes) and
+  /// log the wall time to the timing sidecar.
+  void emit(const std::string& point_id, std::uint64_t params_hash, JsonLine line,
+            double wall_s) {
+    const std::string record = stamp_record(line).str();
+    log_.write_raw(record);
+    if (journal_.is_open()) journal_.record_point({point_id, params_hash}, record);
+    if (timing_.enabled()) {
+      JsonLine timing;
+      timing.add("point", point_id.c_str()).add("wall_s", wall_s);
+      timing_.write_raw(timing.str());
+    }
+  }
+
+  /// Normal completion: publishes the JSONL atomically (via destructors).
+  int finish(int status = 0) { return status; }
+
+  /// Graceful-drain completion: abandon the half-written logs (their .tmp
+  /// stays for the next run's cleanup), flush the journal, tell the user
+  /// how to resume, and return the distinct resumable status.
+  int abandon_resumable() {
+    log_.abandon();
+    timing_.abandon();
+    journal_.flush();
+    std::fprintf(stderr, "%s: interrupted — journal flushed; rerun with --resume=%s\n",
+                 figure_.c_str(), journal_.path().c_str());
+    return kExitResumable;
+  }
+
+ private:
+  std::string figure_;
+  runtime::CheckpointJournal journal_;
+  std::optional<runtime::CampaignRunner> runner_;
+  JsonLog log_;
+  JsonLog timing_;
 };
 
 }  // namespace bhss::bench

@@ -18,7 +18,6 @@
 
 #include "bench_util.hpp"
 #include "core/link_simulator.hpp"
-#include "runtime/parallel_link_runner.hpp"
 
 namespace {
 
@@ -32,7 +31,7 @@ bool stats_finite(const bhss::core::LinkStats& s) {
 int main(int argc, char** argv) {
   using namespace bhss;
   const bench::Options opt = bench::parse_options(argc, argv, 48);
-  bench::JsonLog log(opt.json_path);
+  bench::Campaign campaign(opt, "fault_campaign");
   bench::header("Fault campaign",
                 "failure taxonomy and PER vs per-packet fault intensity");
 
@@ -45,51 +44,55 @@ int main(int argc, char** argv) {
   cfg.n_packets = opt.packets;
   cfg.channel_seed = opt.seed;
 
-  runtime::RunnerOptions ropt;
-  ropt.n_threads = opt.threads;
-  runtime::ParallelLinkRunner runner(ropt);
-
   const std::vector<double> intensities = {0.0, 0.02, 0.05, 0.1, 0.2, 0.4};
 
-  std::printf("%9s  %-11s  %7s  %7s  %12s  %6s  %6s  %6s  %6s  %6s  %7s\n",
+  std::printf("%9s  %-11s  %7s  %7s  %12s  %6s  %6s  %6s  %6s  %6s  %6s  %6s\n",
               "intensity", "mode", "per", "ser", "tput_bps", "sylost", "reacq",
-              "fallbk", "scrub", "inject", "wall_s");
+              "fallbk", "scrub", "inject", "sh_to", "sh_re");
 
   bool all_finite = true;
-  for (const double p : intensities) {
-    for (const bool recovery : {true, false}) {
-      core::SimConfig c = cfg;
-      c.faults.set_uniform_rate(p);
-      if (!recovery) c.system.reacquisition.max_attempts = 1;
+  try {
+    for (const double p : intensities) {
+      for (const bool recovery : {true, false}) {
+        core::SimConfig c = cfg;
+        c.faults.set_uniform_rate(p);
+        if (!recovery) c.system.reacquisition.max_attempts = 1;
 
-      const bench::Stopwatch watch;
-      const core::LinkStats s = runner.run(c);
-      const double wall = watch.seconds();
-      all_finite = all_finite && stats_finite(s);
+        const char* mode = recovery ? "recovery" : "single_shot";
+        char point[48];
+        std::snprintf(point, sizeof(point), "i%g_%s", p, mode);
+        const bench::Stopwatch watch;
+        const core::LinkStats s = campaign.run_point(point, c);
+        all_finite = all_finite && stats_finite(s);
 
-      const char* mode = recovery ? "recovery" : "single_shot";
-      std::printf("%9.2f  %-11s  %7.4f  %7.4f  %12.1f  %6zu  %6zu  %6zu  %6zu  %6zu  %7.2f\n",
-                  p, mode, s.per(), s.ser(), s.throughput_bps, s.sync_lost,
-                  s.reacquired, s.filter_fallback, s.corrupt_input_rejected,
-                  s.faults_injected, wall);
+        std::printf("%9.2f  %-11s  %7.4f  %7.4f  %12.1f  %6zu  %6zu  %6zu  %6zu  %6zu  %6zu  %6zu\n",
+                    p, mode, s.per(), s.ser(), s.throughput_bps, s.sync_lost,
+                    s.reacquired, s.filter_fallback, s.corrupt_input_rejected,
+                    s.faults_injected, s.shard_timeout, s.shard_retried);
 
-      bench::JsonLine line;
-      line.add("bench", "fault_campaign")
-          .add("intensity", p)
-          .add("mode", mode)
-          .add("packets", s.packets)
-          .add("per", s.per())
-          .add("ser", s.ser())
-          .add("throughput_bps", s.throughput_bps)
-          .add("detected", s.detected)
-          .add("sync_lost", s.sync_lost)
-          .add("reacquired", s.reacquired)
-          .add("filter_fallback", s.filter_fallback)
-          .add("corrupt_input_rejected", s.corrupt_input_rejected)
-          .add("faults_injected", s.faults_injected)
-          .add("wall_s", wall);
-      log.write(line);
+        bench::JsonLine line;
+        line.add("bench", "fault_campaign")
+            .add("intensity", p)
+            .add("mode", mode)
+            .add("packets", s.packets)
+            .add("per", s.per())
+            .add("ser", s.ser())
+            .add("throughput_bps", s.throughput_bps)
+            .add("detected", s.detected)
+            .add("sync_lost", s.sync_lost)
+            .add("reacquired", s.reacquired)
+            .add("filter_fallback", s.filter_fallback)
+            .add("corrupt_input_rejected", s.corrupt_input_rejected)
+            .add("faults_injected", s.faults_injected)
+            .add("shard_timeout", s.shard_timeout)
+            .add("shard_retried", s.shard_retried);
+        campaign.emit(point, runtime::CampaignRunner::params_hash(c, campaign.shards()),
+                      std::move(line), watch.seconds());
+      }
     }
+  } catch (const runtime::CampaignInterrupted&) {
+    std::printf("\n");
+    return campaign.abandon_resumable();
   }
 
   if (!all_finite) {
@@ -97,5 +100,5 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::printf("# all statistics finite across the fault matrix\n");
-  return 0;
+  return campaign.finish();
 }

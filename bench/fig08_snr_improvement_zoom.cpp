@@ -12,7 +12,7 @@
 int main(int argc, char** argv) {
   using namespace bhss;
   const bench::Options opt = bench::parse_options(argc, argv);
-  bench::JsonLog log(opt.json_path);
+  bench::Campaign campaign(opt, "fig08");
   bench::header("Figure 8", "SNR improvement bound, zoomed to Bp/Bj in [0.5, 2]");
   const double noise_var = 0.01;
   const std::vector<double> rho_dbm = {10.0, 20.0, 30.0};
@@ -21,25 +21,39 @@ int main(int argc, char** argv) {
   for (double r : rho_dbm) std::printf("  gamma@%2.0fdBm", r);
   std::printf("\n");
 
-  for (double ratio = 0.5; ratio <= 2.0 + 1e-9; ratio += 0.05) {
-    std::printf("%8.2f", ratio);
-    for (double r : rho_dbm) {
-      const bench::Stopwatch watch;
-      const double gamma = core::theory::snr_improvement_bound(
-          ratio, dsp::db_to_linear(r), noise_var);
-      std::printf("  %11.2f", dsp::linear_to_db(gamma));
-      log.write(bench::JsonLine()
-                    .add("figure", "fig08")
-                    .add("bp_over_bj", ratio)
-                    .add("jammer_dbm", r)
-                    .add("gamma_db", dsp::linear_to_db(gamma))
-                    .add("wall_s", watch.seconds()));
+  try {
+    std::size_t step = 0;
+    for (double ratio = 0.5; ratio <= 2.0 + 1e-9; ratio += 0.05, ++step) {
+      std::printf("%8.2f", ratio);
+      for (std::size_t p = 0; p < rho_dbm.size(); ++p) {
+        const double r = rho_dbm[p];
+        const bench::Stopwatch watch;
+        const double gamma = core::theory::snr_improvement_bound(
+            ratio, dsp::db_to_linear(r), noise_var);
+        std::printf("  %11.2f", dsp::linear_to_db(gamma));
+        char point[32];
+        std::snprintf(point, sizeof(point), "r%zu_rho%zu", step, p);
+        const std::uint64_t hash =
+            bench::ParamsHash().add(ratio).add(r).add(noise_var).value();
+        if (!campaign.replay_point(point, hash)) {
+          campaign.emit(point, hash,
+                        bench::JsonLine()
+                            .add("figure", "fig08")
+                            .add("bp_over_bj", ratio)
+                            .add("jammer_dbm", r)
+                            .add("gamma_db", dsp::linear_to_db(gamma)),
+                        watch.seconds());
+        }
+      }
+      std::printf("\n");
     }
+  } catch (const runtime::CampaignInterrupted&) {
     std::printf("\n");
+    return campaign.abandon_resumable();
   }
 
   std::printf("\n# shape check: gamma rises steeply on both sides of Bp/Bj = 1,\n"
               "# with the asymmetry (narrow-band side saturating at the jammer\n"
               "# power) visible already at ratio 2.\n");
-  return 0;
+  return campaign.finish();
 }

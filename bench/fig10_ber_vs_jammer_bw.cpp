@@ -20,7 +20,7 @@ int main(int argc, char** argv) {
   using namespace bhss;
   using core::theory::BhssModel;
   const bench::Options opt = bench::parse_options(argc, argv);
-  bench::JsonLog log(opt.json_path);
+  bench::Campaign campaign(opt, "fig10");
   bench::header("Figure 10", "BER vs jammer bandwidth for SJR -10/-15/-20 dB (Eb/N0 15 dB)");
 
   const double ebno = dsp::db_to_linear(15.0);
@@ -32,27 +32,40 @@ int main(int argc, char** argv) {
 
   std::vector<double> peak_bw(sjr_db.size(), 0.0);
   std::vector<double> peak_ber(sjr_db.size(), 0.0);
-  for (double e = -2.0; e <= 0.0 + 1e-9; e += 0.1) {
-    const double bj = std::pow(10.0, e);
-    std::printf("%14.4f", bj);
-    for (std::size_t i = 0; i < sjr_db.size(); ++i) {
-      const bench::Stopwatch watch;
-      const BhssModel model = BhssModel::log_uniform(100.0, 7, dsp::db_to_linear(20.0),
-                                                     dsp::db_to_linear(-sjr_db[i]));
-      const double ber = model.ber_fixed_jammer(bj, ebno);
-      if (ber > peak_ber[i]) {
-        peak_ber[i] = ber;
-        peak_bw[i] = bj;
+  try {
+    std::size_t step = 0;
+    for (double e = -2.0; e <= 0.0 + 1e-9; e += 0.1, ++step) {
+      const double bj = std::pow(10.0, e);
+      std::printf("%14.4f", bj);
+      for (std::size_t i = 0; i < sjr_db.size(); ++i) {
+        const bench::Stopwatch watch;
+        const BhssModel model = BhssModel::log_uniform(100.0, 7, dsp::db_to_linear(20.0),
+                                                       dsp::db_to_linear(-sjr_db[i]));
+        const double ber = model.ber_fixed_jammer(bj, ebno);
+        if (ber > peak_ber[i]) {
+          peak_ber[i] = ber;
+          peak_bw[i] = bj;
+        }
+        std::printf("  %12.3e", ber);
+        char point[32];
+        std::snprintf(point, sizeof(point), "bw%zu_sjr%zu", step, i);
+        const std::uint64_t hash =
+            bench::ParamsHash().add(bj).add(sjr_db[i]).add(15.0).value();
+        if (!campaign.replay_point(point, hash)) {
+          campaign.emit(point, hash,
+                        bench::JsonLine()
+                            .add("figure", "fig10")
+                            .add("bj_over_max_bp", bj)
+                            .add("sjr_db", sjr_db[i])
+                            .add("ber", ber),
+                        watch.seconds());
+        }
       }
-      std::printf("  %12.3e", ber);
-      log.write(bench::JsonLine()
-                    .add("figure", "fig10")
-                    .add("bj_over_max_bp", bj)
-                    .add("sjr_db", sjr_db[i])
-                    .add("ber", ber)
-                    .add("wall_s", watch.seconds()));
+      std::printf("\n");
     }
+  } catch (const runtime::CampaignInterrupted&) {
     std::printf("\n");
+    return campaign.abandon_resumable();
   }
 
   std::printf("\n# peak (worst-case for the link) jammer bandwidth per SJR:\n");
@@ -62,5 +75,5 @@ int main(int argc, char** argv) {
   }
   std::printf("# paper: 'the bit error curves for the different SJR values all exhibit\n"
               "# a maximum at different jammer bandwidths'\n");
-  return 0;
+  return campaign.finish();
 }

@@ -22,17 +22,15 @@
 #include "core/link_simulator.hpp"
 #include "core/theory.hpp"
 #include "dsp/utils.hpp"
-#include "runtime/parallel_link_runner.hpp"
 
 int main(int argc, char** argv) {
   using namespace bhss;
   const bench::Options opt = bench::parse_options(argc, argv, 10);
   bench::header("Figure 13", "power advantage vs bandwidth ratio, fixed offsets (sample-domain)");
-  runtime::ParallelLinkRunner runner({.n_threads = opt.threads});
-  bench::JsonLog log(opt.json_path);
+  bench::Campaign campaign(opt, "fig13");
   std::printf("# packets per SNR point: %zu (paper: 10000); jammer at JNR %.0f dB; "
               "%zu threads, %zu shards\n",
-              opt.packets, opt.jnr_db, runner.threads(), runner.shards());
+              opt.packets, opt.jnr_db, campaign.threads(), campaign.shards());
 
   const core::BandwidthSet bands = core::BandwidthSet::paper();
   const double jnr_db = opt.jnr_db;
@@ -40,49 +38,57 @@ int main(int argc, char** argv) {
   // advantage samples grouped by Bp/Bj.
   std::map<double, std::vector<double>> by_ratio;
 
-  for (std::size_t sig = 0; sig < bands.size(); ++sig) {
-    for (std::size_t jam = 0; jam < bands.size(); ++jam) {
-      core::SimConfig cfg;
-      cfg.system = baseline::dsss_config(bands, sig);
-      cfg.payload_len = 6;
-      cfg.n_packets = opt.packets;
-      cfg.channel_seed = opt.seed;
-      cfg.jnr_db = jnr_db;
-      cfg.jammer.kind = core::JammerSpec::Kind::fixed_bandwidth;
-      cfg.jammer.bandwidth_frac = bands.bandwidth_frac(jam);
+  try {
+    for (std::size_t sig = 0; sig < bands.size(); ++sig) {
+      for (std::size_t jam = 0; jam < bands.size(); ++jam) {
+        core::SimConfig cfg;
+        cfg.system = baseline::dsss_config(bands, sig);
+        cfg.payload_len = 6;
+        cfg.n_packets = opt.packets;
+        cfg.channel_seed = opt.seed;
+        cfg.jnr_db = jnr_db;
+        cfg.jammer.kind = core::JammerSpec::Kind::fixed_bandwidth;
+        cfg.jammer.bandwidth_frac = bands.bandwidth_frac(jam);
 
-      std::size_t probes = 0;
-      const auto per_of = [&](const core::SimConfig& c) {
-        ++probes;
-        return runner.run(c).per();
-      };
-      const bench::Stopwatch watch;
-      const double with_filter = core::min_snr_for_per(cfg, per_of);
-      core::SimConfig off = cfg;
-      off.system.filter_policy = core::FilterPolicy::off;
-      const double without_filter = core::min_snr_for_per(off, per_of);
-      const double wall_s = watch.seconds();
+        char point[48];
+        std::snprintf(point, sizeof(point), "bp%zu_bj%zu", sig, jam);
+        const bench::Stopwatch watch;
+        const double with_filter =
+            campaign.min_snr_for_per(std::string(point) + "/filter", cfg);
+        core::SimConfig off = cfg;
+        off.system.filter_policy = core::FilterPolicy::off;
+        const double without_filter =
+            campaign.min_snr_for_per(std::string(point) + "/nofilter", off);
 
-      const double ratio = bands.bandwidth_frac(sig) / bands.bandwidth_frac(jam);
-      by_ratio[ratio].push_back(without_filter - with_filter);
-      std::fprintf(stderr, "  Bp=%5.3f MHz Bj=%5.3f MHz: adv %.1f dB\n",
-                   bands.bandwidth_hz(sig) / 1e6, bands.bandwidth_hz(jam) / 1e6,
-                   without_filter - with_filter);
-      const double packets_total = static_cast<double>(probes * opt.packets);
-      log.write(bench::JsonLine()
-                    .add("figure", "fig13")
-                    .add("bp_mhz", bands.bandwidth_hz(sig) / 1e6)
-                    .add("bj_mhz", bands.bandwidth_hz(jam) / 1e6)
-                    .add("bp_over_bj", ratio)
-                    .add("min_snr_filter_db", with_filter)
-                    .add("min_snr_nofilter_db", without_filter)
-                    .add("advantage_db", without_filter - with_filter)
-                    .add("packets", opt.packets)
-                    .add("threads", runner.threads())
-                    .add("shards", runner.shards())
-                    .add("wall_s", wall_s)
-                    .add("packets_per_s", wall_s > 0.0 ? packets_total / wall_s : 0.0));
+        const double ratio = bands.bandwidth_frac(sig) / bands.bandwidth_frac(jam);
+        by_ratio[ratio].push_back(without_filter - with_filter);
+        std::fprintf(stderr, "  Bp=%5.3f MHz Bj=%5.3f MHz: adv %.1f dB\n",
+                     bands.bandwidth_hz(sig) / 1e6, bands.bandwidth_hz(jam) / 1e6,
+                     without_filter - with_filter);
+        const std::uint64_t hash = bench::ParamsHash()
+                                       .add(std::uint64_t{sig})
+                                       .add(std::uint64_t{jam})
+                                       .add(jnr_db)
+                                       .add(std::uint64_t{opt.packets})
+                                       .add(opt.seed)
+                                       .add(std::uint64_t{campaign.shards()})
+                                       .value();
+        campaign.emit(point, hash,
+                      bench::JsonLine()
+                          .add("figure", "fig13")
+                          .add("bp_mhz", bands.bandwidth_hz(sig) / 1e6)
+                          .add("bj_mhz", bands.bandwidth_hz(jam) / 1e6)
+                          .add("bp_over_bj", ratio)
+                          .add("min_snr_filter_db", with_filter)
+                          .add("min_snr_nofilter_db", without_filter)
+                          .add("advantage_db", without_filter - with_filter)
+                          .add("packets", opt.packets)
+                          .add("shards", campaign.shards()),
+                      watch.seconds());
+      }
     }
+  } catch (const runtime::CampaignInterrupted&) {
+    return campaign.abandon_resumable();
   }
 
   std::printf("\n%10s  %10s  %14s  %14s\n", "Bp/Bj", "n", "advantage[dB]", "bound[dB]");
@@ -94,5 +100,5 @@ int main(int argc, char** argv) {
         ratio, dsp::db_to_linear(jnr_db), 1.0));
     std::printf("%10.4f  %10zu  %14.1f  %14.1f\n", ratio, samples.size(), mean, bound);
   }
-  return 0;
+  return campaign.finish();
 }

@@ -180,6 +180,8 @@ LinkStats merge_link_stats(const std::vector<LinkStats>& shards, std::size_t pay
     total.filter_fallback += s.filter_fallback;
     total.corrupt_input_rejected += s.corrupt_input_rejected;
     total.faults_injected += s.faults_injected;
+    total.shard_timeout += s.shard_timeout;
+    total.shard_retried += s.shard_retried;
   }
   if (total.airtime_s > 0.0) {
     total.throughput_bps =

@@ -80,6 +80,13 @@ struct LinkStats {
   std::size_t corrupt_input_rejected = 0;  ///< captures with NaN/Inf scrubbed
   std::size_t faults_injected = 0;  ///< fault events applied by the injector
 
+  // Campaign-orchestration taxonomy (runtime::CampaignRunner): shards that
+  // exhausted their watchdog budget and were quarantined (their packets are
+  // missing from the merge — accounted, not silently lost), and shards that
+  // timed out at least once but succeeded on a deterministic retry.
+  std::size_t shard_timeout = 0;  ///< shards quarantined after watchdog timeouts
+  std::size_t shard_retried = 0;  ///< shards recovered by a retry attempt
+
   [[nodiscard]] double per() const noexcept {
     return packets == 0 ? 1.0
                         : 1.0 - static_cast<double>(ok) / static_cast<double>(packets);

@@ -1,0 +1,363 @@
+#include "runtime/campaign.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/contracts.hpp"
+
+namespace bhss::runtime {
+namespace {
+
+// ------------------------------------------------------------ drain request
+
+/// Async-signal-safe drain flag. SIGINT/SIGTERM only set it; the campaign
+/// polls it at shard boundaries, so in-flight shards drain instead of
+/// dying mid-write.
+volatile std::sig_atomic_t g_interrupt = 0;
+
+void handle_drain_signal(int /*signum*/) { g_interrupt = 1; }
+
+// ------------------------------------------------------ abandoned threads
+
+/// A shard that overruns its watchdog budget cannot be joined on the
+/// campaign's critical path (it may be genuinely hung), but a plain
+/// detach makes process teardown race whatever shared state the runaway
+/// thread still touches. Park such threads here instead: the campaign
+/// moves on immediately, and join_abandoned_threads() lets tests wait
+/// them out. The vector is deliberately leaked — destroying it at exit
+/// with a still-hung thread inside would std::terminate.
+std::mutex g_abandoned_mu;
+std::vector<std::thread>* const g_abandoned = new std::vector<std::thread>;
+
+void park_abandoned(std::thread th) {
+  const std::lock_guard<std::mutex> lock(g_abandoned_mu);
+  g_abandoned->push_back(std::move(th));
+}
+
+// ------------------------------------------------------------- params hash
+
+/// FNV-1a-64 over a canonical little-endian serialization of the config.
+/// Floats are hashed as IEEE-754 bit patterns: two configs hash equal iff
+/// the simulation would compute the same statistics.
+class Fnv1a {
+ public:
+  void u64(std::uint64_t v) noexcept {
+    for (int i = 0; i < 8; ++i) byte(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void f64(double v) noexcept { u64(std::bit_cast<std::uint64_t>(v)); }
+  void f32(float v) noexcept { u64(std::bit_cast<std::uint32_t>(v)); }
+  template <typename E>
+  void enm(E v) noexcept {
+    u64(static_cast<std::uint64_t>(v));
+  }
+  void vec(const std::vector<double>& v) noexcept {
+    u64(v.size());
+    for (const double x : v) f64(x);
+  }
+  [[nodiscard]] std::uint64_t digest() const noexcept { return hash_; }
+
+ private:
+  void byte(std::uint8_t b) noexcept {
+    hash_ ^= b;
+    hash_ *= 0x100000001B3ULL;
+  }
+  std::uint64_t hash_ = 0xCBF29CE484222325ULL;
+};
+
+}  // namespace
+
+void CampaignRunner::install_signal_handlers() noexcept {
+  std::signal(SIGINT, &handle_drain_signal);
+  std::signal(SIGTERM, &handle_drain_signal);
+}
+
+void CampaignRunner::request_interrupt() noexcept { g_interrupt = 1; }
+void CampaignRunner::clear_interrupt() noexcept { g_interrupt = 0; }
+bool CampaignRunner::interrupt_requested() noexcept { return g_interrupt != 0; }
+
+void CampaignRunner::join_abandoned_threads() {
+  for (;;) {
+    std::vector<std::thread> batch;
+    {
+      const std::lock_guard<std::mutex> lock(g_abandoned_mu);
+      batch.swap(*g_abandoned);
+    }
+    if (batch.empty()) return;
+    for (std::thread& th : batch) th.join();
+  }
+}
+
+// Every field of SimConfig (and of everything it embeds) that influences
+// the simulated statistics goes into the fingerprint, in declaration
+// order. When SimConfig grows a field, add it here — a missed field means
+// resume can silently reuse work computed under different parameters.
+std::uint64_t CampaignRunner::params_hash(const core::SimConfig& cfg,
+                                          std::size_t n_shards) noexcept {
+  Fnv1a h;
+
+  const core::SystemConfig& sys = cfg.system;
+  h.u64(sys.seed);
+  const core::BandwidthSet& bands = sys.pattern.bands();
+  h.f64(bands.sample_rate_hz());
+  h.u64(bands.size());
+  for (std::size_t i = 0; i < bands.size(); ++i) h.u64(bands.sps(i));
+  h.vec(sys.pattern.probabilities());
+  h.u64(sys.symbols_per_hop);
+  h.u64(sys.hopping ? 1 : 0);
+  h.u64(sys.fixed_bw_index);
+  h.enm(sys.sync);
+  h.enm(sys.filter_policy);
+  const core::ControlLogicConfig& logic = sys.logic;
+  h.u64(logic.psd_fft);
+  h.f64(logic.welch_overlap);
+  h.enm(logic.psd_method);
+  h.u64(logic.max_lpf_taps);
+  h.f64(logic.lpf_atten_db);
+  h.f64(logic.lpf_cutoff_factor);
+  h.f64(logic.oob_level_ratio);
+  h.f64(logic.peak_over_median_db);
+  h.f64(logic.excision_match_guard);
+  h.f64(logic.excision_floor_rel);
+  h.enm(logic.excision_style);
+  h.f32(sys.sync_threshold);
+  h.u64(sys.reacquisition.max_attempts);
+  h.f64(sys.reacquisition.lag_widen);
+  h.f32(sys.reacquisition.threshold_decay);
+  h.f32(sys.reacquisition.min_threshold);
+  h.f32(sys.reacquisition.min_margin);
+  h.u64(sys.carrier_tracking ? 1 : 0);
+  h.f32(sys.costas_bandwidth);
+
+  const core::JammerSpec& jam = cfg.jammer;
+  h.enm(jam.kind);
+  h.f64(jam.bandwidth_frac);
+  h.vec(jam.hop_probs);
+  h.u64(jam.dwell_samples);
+  h.u64(jam.reaction_delay);
+  h.vec(jam.tone_freqs);
+  h.f64(jam.sweep_lo);
+  h.f64(jam.sweep_hi);
+  h.u64(jam.sweep_samples);
+  h.u64(jam.seed);
+
+  h.f64(cfg.snr_db);
+  h.f64(cfg.jnr_db);
+  h.u64(cfg.payload_len);
+  h.u64(cfg.n_packets);
+  h.u64(cfg.channel_seed);
+  h.u64(cfg.impairments ? 1 : 0);
+  h.u64(cfg.max_delay);
+  h.f32(cfg.max_cfo);
+
+  const fault::FaultConfig& f = cfg.faults;
+  h.u64(f.seed);
+  h.f64(f.p_burst);
+  h.f64(f.burst_power_db);
+  h.f64(f.burst_len_frac);
+  h.f64(f.p_fade);
+  h.f64(f.fade_depth_db);
+  h.f64(f.fade_len_frac);
+  h.f64(f.p_drop);
+  h.u64(f.drop_max);
+  h.f64(f.p_dup);
+  h.u64(f.dup_max);
+  h.f64(f.p_clock_jump);
+  h.u64(f.jump_max);
+  h.u64(f.jump_offset_max);
+  h.f64(f.p_cfo_step);
+  h.f64(f.cfo_step_max);
+  h.f64(f.p_corrupt);
+  h.u64(f.corrupt_max);
+
+  h.u64(n_shards);
+  return h.digest();
+}
+
+CampaignRunner::CampaignRunner(CampaignOptions options, CheckpointJournal* journal)
+    : options_(options), pool_(options.n_threads), journal_(journal) {
+  BHSS_REQUIRE(options_.n_shards >= 1, "CampaignRunner: n_shards must be >= 1");
+  BHSS_REQUIRE(options_.max_attempts >= 1, "CampaignRunner: max_attempts must be >= 1");
+}
+
+core::LinkStats CampaignRunner::run_point(const std::string& point_id,
+                                          const core::SimConfig& cfg) {
+  BHSS_REQUIRE(point_id.find_first_of(" \t\n") == std::string::npos,
+               "CampaignRunner: point id must be whitespace-free");
+  const std::size_t n_shards = options_.n_shards;
+  const JournalKey key{point_id, params_hash(cfg, n_shards)};
+
+  std::vector<core::LinkStats> slots(n_shards);
+  std::size_t quarantined = 0;
+  std::vector<std::size_t> pending;
+  for (std::size_t shard = 0; shard < n_shards; ++shard) {
+    if (journal_ != nullptr) {
+      if (const core::LinkStats* done = journal_->find_shard(key, shard)) {
+        slots[shard] = *done;
+        continue;
+      }
+      if (journal_->shard_quarantined(key, shard)) {
+        ++quarantined;  // lost in a previous run; stays accounted, not re-hung
+        continue;
+      }
+    }
+    pending.push_back(shard);
+  }
+
+  if (!pending.empty()) {
+    if (interrupt_requested()) {
+      if (journal_ != nullptr) journal_->flush();
+      throw CampaignInterrupted();
+    }
+    std::size_t retried = 0;
+    if (options_.shard_timeout_s > 0.0) {
+      execute_watchdogged(key, cfg, std::move(pending), slots, retried, quarantined);
+    } else {
+      execute_pooled(key, cfg, pending, slots);
+    }
+    core::LinkStats merged = core::merge_link_stats(slots, cfg.payload_len);
+    merged.shard_timeout += quarantined;
+    merged.shard_retried += retried;
+    return merged;
+  }
+
+  core::LinkStats merged = core::merge_link_stats(slots, cfg.payload_len);
+  merged.shard_timeout += quarantined;
+  return merged;
+}
+
+void CampaignRunner::execute_pooled(const JournalKey& key, const core::SimConfig& cfg,
+                                    const std::vector<std::size_t>& pending,
+                                    std::vector<core::LinkStats>& slots) {
+  std::vector<std::uint8_t> skipped(pending.size(), 0);
+  pool_.parallel_for_shards(pending.size(), [&](std::size_t i) {
+    if (interrupt_requested()) {  // drain: in-flight shards finish, new ones don't start
+      skipped[i] = 1;
+      return;
+    }
+    const std::size_t shard = pending[i];
+    if (shard_hook) shard_hook(shard, 0);
+    const auto range =
+        ParallelLinkRunner::shard_range(cfg.n_packets, options_.n_shards, shard);
+    if (range.count != 0) {
+      slots[shard] =
+          core::run_link_shard(cfg, range.first, range.count,
+                               ParallelLinkRunner::shard_seeds(cfg, shard));
+    }
+    if (journal_ != nullptr) journal_->record_shard(key, shard, slots[shard]);
+  });
+  for (const std::uint8_t s : skipped) {
+    if (s != 0) {
+      if (journal_ != nullptr) journal_->flush();
+      throw CampaignInterrupted();
+    }
+  }
+}
+
+void CampaignRunner::execute_watchdogged(const JournalKey& key, const core::SimConfig& cfg,
+                                         std::vector<std::size_t> pending,
+                                         std::vector<core::LinkStats>& slots,
+                                         std::size_t& retried_shards,
+                                         std::size_t& quarantined_shards) {
+  using clock = std::chrono::steady_clock;
+  const auto budget = std::chrono::duration_cast<clock::duration>(
+      std::chrono::duration<double>(options_.shard_timeout_s));
+  const std::size_t width = pool_.size();
+
+  std::vector<std::uint8_t> timed_out_before(options_.n_shards, 0);
+
+  for (std::size_t attempt = 0; attempt < options_.max_attempts && !pending.empty();
+       ++attempt) {
+    if (attempt > 0) {
+      const double backoff =
+          options_.backoff_base_s * static_cast<double>(std::size_t{1} << (attempt - 1));
+      std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+    }
+
+    std::vector<std::size_t> timed_out;
+    for (std::size_t start = 0; start < pending.size(); start += width) {
+      if (interrupt_requested()) {
+        if (journal_ != nullptr) journal_->flush();
+        throw CampaignInterrupted();
+      }
+      const std::size_t end = std::min(start + width, pending.size());
+
+      // One watchdogged thread per shard in this chunk. A shard that
+      // overruns its budget is abandoned (parked in the registry) — its
+      // thread keeps running to completion in the background, but its
+      // result is discarded so a genuinely hung shard cannot stall the
+      // campaign.
+      struct Flight {
+        std::size_t shard = 0;
+        std::thread thread;
+        std::future<core::LinkStats> result;
+      };
+      std::vector<Flight> flights;
+      flights.reserve(end - start);
+      for (std::size_t i = start; i < end; ++i) {
+        const std::size_t shard = pending[i];
+        std::packaged_task<core::LinkStats()> task(
+            [cfg, shard, attempt, hook = shard_hook, n_shards = options_.n_shards]() {
+              if (hook) hook(shard, attempt);
+              const auto range = ParallelLinkRunner::shard_range(cfg.n_packets, n_shards, shard);
+              core::LinkStats stats;
+              if (range.count != 0) {
+                stats = core::run_link_shard(cfg, range.first, range.count,
+                                             ParallelLinkRunner::shard_seeds(cfg, shard));
+              }
+              return stats;
+            });
+        Flight flight;
+        flight.shard = shard;
+        flight.result = task.get_future();
+        flight.thread = std::thread(std::move(task));
+        flights.push_back(std::move(flight));
+      }
+
+      const auto deadline = clock::now() + budget;
+      for (Flight& flight : flights) {
+        if (flight.result.wait_until(deadline) == std::future_status::ready) {
+          flight.thread.join();
+          slots[flight.shard] = flight.result.get();
+          if (journal_ != nullptr) journal_->record_shard(key, flight.shard, slots[flight.shard]);
+          if (timed_out_before[flight.shard] != 0) ++retried_shards;
+        } else {
+          park_abandoned(std::move(flight.thread));
+          timed_out_before[flight.shard] = 1;
+          timed_out.push_back(flight.shard);
+        }
+      }
+    }
+    pending = std::move(timed_out);
+  }
+
+  // Out of attempts: quarantine what is left. The merge proceeds without
+  // these shards' packets; the loss is visible as `shard_timeout`.
+  for (const std::size_t shard : pending) {
+    slots[shard] = core::LinkStats{};
+    if (journal_ != nullptr) journal_->record_quarantine(key, shard, options_.max_attempts);
+    ++quarantined_shards;
+  }
+}
+
+double CampaignRunner::min_snr_for_per(const std::string& point_id,
+                                       const core::SimConfig& cfg, double target_per,
+                                       double lo_db, double hi_db, double tol_db) {
+  std::size_t probe = 0;
+  return core::min_snr_for_per(
+      cfg,
+      [this, &point_id, &probe](const core::SimConfig& c) {
+        char id[288];
+        std::snprintf(id, sizeof(id), "%s/p%zu", point_id.c_str(), probe++);
+        return run_point(id, c).per();
+      },
+      target_per, lo_db, hi_db, tol_db);
+}
+
+}  // namespace bhss::runtime

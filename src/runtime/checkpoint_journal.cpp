@@ -1,0 +1,295 @@
+#include "runtime/checkpoint_journal.hpp"
+
+#include <unistd.h>
+
+#include <bit>
+#include <cinttypes>
+#include <fstream>
+#include <span>
+#include <stdexcept>
+
+#include "core/contracts.hpp"
+#include "phy/crc16.hpp"
+
+namespace bhss::runtime {
+namespace {
+
+std::uint16_t line_crc(const std::string& body) {
+  return phy::crc16_ccitt(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(body.data()), body.size()));
+}
+
+/// "<body> crc=XXXX" with the CRC over the body bytes.
+std::string seal_line(const std::string& body) {
+  char tail[16];
+  std::snprintf(tail, sizeof(tail), " crc=%04X", line_crc(body));
+  return body + tail;
+}
+
+/// Strip and verify the trailing " crc=XXXX"; returns false on any
+/// mismatch (torn write, bit rot, manual edit).
+bool unseal_line(const std::string& line, std::string& body) {
+  static constexpr std::size_t kTail = 9;  // " crc=XXXX"
+  if (line.size() < kTail) return false;
+  const std::size_t split = line.size() - kTail;
+  if (line.compare(split, 5, " crc=") != 0) return false;
+  unsigned crc = 0;
+  if (std::sscanf(line.c_str() + split + 5, "%4x", &crc) != 1) return false;
+  body = line.substr(0, split);
+  return line_crc(body) == static_cast<std::uint16_t>(crc);
+}
+
+std::string shard_key(const JournalKey& key, std::size_t shard) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), " %016" PRIx64 " %zu", key.params_hash, shard);
+  return key.point_id + buf;
+}
+
+std::string point_key(const JournalKey& key) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), " %016" PRIx64, key.params_hash);
+  return key.point_id + buf;
+}
+
+/// LinkStats fields in journal order. Doubles travel as IEEE-754 bit
+/// patterns: the replayed merge must reproduce the uninterrupted run's
+/// statistics bit for bit, and "%.17g" round-trips are one parser bug away
+/// from silently breaking that.
+std::string format_stats(const core::LinkStats& s) {
+  char buf[400];
+  std::snprintf(buf, sizeof(buf),
+                "%zu %zu %zu %zu %zu %016" PRIx64 " %016" PRIx64 " %zu %zu %zu %zu %zu %zu %zu",
+                s.packets, s.detected, s.ok, s.symbol_errors, s.total_symbols,
+                std::bit_cast<std::uint64_t>(s.airtime_s),
+                std::bit_cast<std::uint64_t>(s.throughput_bps), s.sync_lost, s.reacquired,
+                s.filter_fallback, s.corrupt_input_rejected, s.faults_injected,
+                s.shard_timeout, s.shard_retried);
+  return buf;
+}
+
+bool parse_stats(const char* text, core::LinkStats& s) {
+  std::uint64_t airtime_bits = 0;
+  std::uint64_t throughput_bits = 0;
+  const int n = std::sscanf(
+      text, "%zu %zu %zu %zu %zu %" SCNx64 " %" SCNx64 " %zu %zu %zu %zu %zu %zu %zu",
+      &s.packets, &s.detected, &s.ok, &s.symbol_errors, &s.total_symbols, &airtime_bits,
+      &throughput_bits, &s.sync_lost, &s.reacquired, &s.filter_fallback,
+      &s.corrupt_input_rejected, &s.faults_injected, &s.shard_timeout, &s.shard_retried);
+  if (n != 14) return false;
+  s.airtime_s = std::bit_cast<double>(airtime_bits);
+  s.throughput_bps = std::bit_cast<double>(throughput_bits);
+  return true;
+}
+
+void fsync_file(std::FILE* file) {
+  std::fflush(file);
+  ::fsync(::fileno(file));
+}
+
+}  // namespace
+
+CheckpointJournal::~CheckpointJournal() { close(); }
+
+void CheckpointJournal::open(const std::string& path, const std::string& figure_id,
+                             int schema_version, const std::string& build_sha, bool resume) {
+  BHSS_REQUIRE(!is_open(), "CheckpointJournal: already open");
+  BHSS_REQUIRE(!path.empty(), "CheckpointJournal: empty path");
+  BHSS_REQUIRE(figure_id.find_first_of(" \t\n") == std::string::npos,
+               "CheckpointJournal: figure id must be whitespace-free");
+  path_ = path;
+
+  std::ifstream probe(path, std::ios::binary);
+  const bool exists = probe.good();
+  probe.close();
+
+  if (resume && exists) {
+    load_existing(figure_id, schema_version);
+    file_ = std::fopen(path.c_str(), "ab");
+    if (file_ == nullptr) {
+      throw std::runtime_error("CheckpointJournal: cannot reopen " + path + " for append");
+    }
+    return;
+  }
+
+  // Fresh journal: stage the header in <path>.tmp and publish it with an
+  // atomic rename, so a crash during creation cannot leave a truncated
+  // header at the published path.
+  const std::string tmp = path + ".tmp";
+  std::FILE* staged = std::fopen(tmp.c_str(), "wb");
+  if (staged == nullptr) {
+    throw std::runtime_error("CheckpointJournal: cannot create " + tmp);
+  }
+  char header[256];
+  std::snprintf(header, sizeof(header), "bhss-journal v%d schema=%d figure=%s git=%s",
+                kFormatVersion, schema_version, figure_id.c_str(),
+                build_sha.empty() ? "unknown" : build_sha.c_str());
+  const std::string line = seal_line(header);
+  std::fprintf(staged, "%s\n", line.c_str());
+  fsync_file(staged);
+  std::fclose(staged);
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    throw std::runtime_error("CheckpointJournal: cannot publish " + tmp + " to " + path);
+  }
+  file_ = std::fopen(path.c_str(), "ab");
+  if (file_ == nullptr) {
+    throw std::runtime_error("CheckpointJournal: cannot reopen " + path + " for append");
+  }
+}
+
+void CheckpointJournal::load_existing(const std::string& figure_id, int schema_version) {
+  std::ifstream in(path_, std::ios::binary);
+  if (!in) throw std::runtime_error("CheckpointJournal: cannot read " + path_);
+
+  std::string line;
+  std::size_t valid_end = 0;  // byte offset just past the last valid record
+  bool saw_header = false;
+  while (std::getline(in, line)) {
+    // getline strips the '\n'; a final line at EOF without one is a torn
+    // append and never validates (the CRC tail would be incomplete).
+    const bool had_newline = !in.eof();
+    std::string body;
+    if (!unseal_line(line, body)) break;
+
+    if (!saw_header) {
+      char figure[128] = {0};
+      char git[128] = {0};
+      int version = 0;
+      int schema = 0;
+      if (std::sscanf(body.c_str(), "bhss-journal v%d schema=%d figure=%127s git=%127s",
+                      &version, &schema, figure, git) != 4) {
+        throw std::runtime_error("CheckpointJournal: " + path_ + " has no valid header");
+      }
+      if (version != kFormatVersion) {
+        throw std::runtime_error("CheckpointJournal: " + path_ +
+                                 " uses journal format v" + std::to_string(version) +
+                                 ", this build writes v" + std::to_string(kFormatVersion));
+      }
+      if (schema != schema_version) {
+        throw std::runtime_error(
+            "CheckpointJournal: " + path_ + " was written with schema_version " +
+            std::to_string(schema) + ", this build emits " + std::to_string(schema_version) +
+            " — resumed records would mix schemas; start a fresh checkpoint");
+      }
+      if (figure_id != figure) {
+        throw std::runtime_error("CheckpointJournal: " + path_ + " belongs to campaign '" +
+                                 figure + "', not '" + figure_id + "'");
+      }
+      saw_header = true;
+    } else {
+      char point[192] = {0};
+      std::uint64_t hash = 0;
+      std::size_t shard = 0;
+      int consumed = 0;
+      if (std::sscanf(body.c_str(), "S %191s %" SCNx64 " %zu %n", point, &hash, &shard,
+                      &consumed) == 3) {
+        core::LinkStats stats;
+        if (!parse_stats(body.c_str() + consumed, stats)) break;
+        shards_[shard_key({point, hash}, shard)] = stats;
+      } else if (std::size_t attempts = 0;
+                 std::sscanf(body.c_str(), "Q %191s %" SCNx64 " %zu %zu", point, &hash,
+                             &shard, &attempts) == 4) {
+        quarantined_[shard_key({point, hash}, shard)] = attempts;
+      } else if (std::sscanf(body.c_str(), "P %191s %" SCNx64 " %n", point, &hash,
+                             &consumed) == 2) {
+        points_[point_key({point, hash})] = body.substr(static_cast<std::size_t>(consumed));
+      } else {
+        break;  // unknown record kind: treat like a torn tail, drop the rest
+      }
+      ++replayed_;
+    }
+    valid_end += line.size() + (had_newline ? 1 : 0);
+    if (!had_newline) break;
+  }
+
+  if (!saw_header) {
+    throw std::runtime_error("CheckpointJournal: " + path_ + " has no valid header");
+  }
+
+  // Drop a torn tail so the next append starts on a clean line boundary.
+  in.close();
+  std::uintmax_t size = 0;
+  {
+    std::ifstream measure(path_, std::ios::binary | std::ios::ate);
+    size = static_cast<std::uintmax_t>(measure.tellg());
+  }
+  if (size > valid_end) {
+    tail_truncated_ = true;
+    if (::truncate(path_.c_str(), static_cast<off_t>(valid_end)) != 0) {
+      throw std::runtime_error("CheckpointJournal: cannot truncate torn tail of " + path_);
+    }
+  }
+}
+
+const core::LinkStats* CheckpointJournal::find_shard(const JournalKey& key,
+                                                     std::size_t shard) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = shards_.find(shard_key(key, shard));
+  return it == shards_.end() ? nullptr : &it->second;
+}
+
+bool CheckpointJournal::shard_quarantined(const JournalKey& key, std::size_t shard) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return quarantined_.count(shard_key(key, shard)) != 0;
+}
+
+const std::string* CheckpointJournal::find_point(const JournalKey& key) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = points_.find(point_key(key));
+  return it == points_.end() ? nullptr : &it->second;
+}
+
+void CheckpointJournal::append_line(const std::string& body) {
+  const std::string line = seal_line(body);
+  BHSS_DEBUG_ASSERT(line.find('\n') == std::string::npos,
+                    "CheckpointJournal: records must be single-line");
+  if (file_ == nullptr) return;
+  std::fprintf(file_, "%s\n", line.c_str());
+  fsync_file(file_);
+}
+
+void CheckpointJournal::record_shard(const JournalKey& key, std::size_t shard,
+                                     const core::LinkStats& stats) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  char prefix[280];
+  std::snprintf(prefix, sizeof(prefix), "S %s %016" PRIx64 " %zu ", key.point_id.c_str(),
+                key.params_hash, shard);
+  append_line(prefix + format_stats(stats));
+  shards_[shard_key(key, shard)] = stats;
+}
+
+void CheckpointJournal::record_quarantine(const JournalKey& key, std::size_t shard,
+                                          std::size_t attempts) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  char body[320];
+  std::snprintf(body, sizeof(body), "Q %s %016" PRIx64 " %zu %zu", key.point_id.c_str(),
+                key.params_hash, shard, attempts);
+  append_line(body);
+  quarantined_[shard_key(key, shard)] = attempts;
+}
+
+void CheckpointJournal::record_point(const JournalKey& key, const std::string& payload) {
+  BHSS_REQUIRE(payload.find('\n') == std::string::npos,
+               "CheckpointJournal: point payload must be newline-free");
+  const std::lock_guard<std::mutex> lock(mutex_);
+  char prefix[280];
+  std::snprintf(prefix, sizeof(prefix), "P %s %016" PRIx64 " ", key.point_id.c_str(),
+                key.params_hash);
+  append_line(prefix + payload);
+  points_[point_key(key)] = payload;
+}
+
+void CheckpointJournal::flush() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (file_ != nullptr) fsync_file(file_);
+}
+
+void CheckpointJournal::close() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (file_ != nullptr) {
+    fsync_file(file_);
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+}  // namespace bhss::runtime

@@ -1,0 +1,133 @@
+#pragma once
+
+/// @file checkpoint_journal.hpp
+/// Crash-safe progress journal for long Monte-Carlo campaigns.
+///
+/// Reproducing a paper figure at full scale (10k packets per data point,
+/// dozens of (SNR, jammer-bandwidth, hop-pattern) sweeps) runs for hours;
+/// a crash, OOM-kill or Ctrl-C must not lose the finished work. The
+/// journal records every completed (data-point, shard) work unit of a
+/// campaign as one CRC-protected line in an append-only file:
+///
+///   bhss-journal v1 schema=<n> figure=<id> git=<sha> crc=XXXX
+///   S <point> <params-hash> <shard> <LinkStats fields...> crc=XXXX
+///   Q <point> <params-hash> <shard> <attempts> crc=XXXX
+///   P <point> <params-hash> <payload...> crc=XXXX
+///
+/// `S` journals the bit-exact statistics of one finished simulation shard
+/// (doubles stored as IEEE-754 bit patterns, so replay merges to the same
+/// bits), `Q` quarantines a shard the watchdog gave up on, and `P` stores
+/// the published JSONL record of a completed data point verbatim.
+///
+/// Durability contract:
+///  - The file is *created* by writing the header to `<path>.tmp`,
+///    fsync'ing, and atomically renaming onto `<path>` — a crash during
+///    creation never leaves a half-written journal at the published path.
+///  - Every appended record is flushed and fsync'd before the append call
+///    returns: once a work unit is reported done, it survives SIGKILL.
+///  - A torn tail (the crash landed mid-write) is detected by the per-line
+///    CRC-16 on load; the valid prefix is kept and the file is truncated
+///    back to it before appending resumes.
+///
+/// Keys are `(point id, params hash)`: a record whose params hash does not
+/// match the current configuration is ignored on lookup, so editing a
+/// sweep's parameters safely invalidates stale work instead of reusing it.
+
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "core/link_simulator.hpp"
+
+namespace bhss::runtime {
+
+/// Identity of one data point inside a campaign. `point_id` must be
+/// whitespace-free (it is a token in the journal's line format);
+/// `params_hash` fingerprints every simulation parameter that can change
+/// the result (see CampaignRunner::params_hash).
+struct JournalKey {
+  std::string point_id;
+  std::uint64_t params_hash = 0;
+};
+
+/// Append-only, CRC-protected campaign checkpoint file. All appends are
+/// thread-safe (worker shards report completion concurrently) and fsync'd.
+class CheckpointJournal {
+ public:
+  /// Journal line-format version. Bump when the record layout changes;
+  /// a resumed journal with a different version is rejected.
+  static constexpr int kFormatVersion = 1;
+
+  CheckpointJournal() = default;
+  ~CheckpointJournal();
+  CheckpointJournal(const CheckpointJournal&) = delete;
+  CheckpointJournal& operator=(const CheckpointJournal&) = delete;
+
+  /// Open `path` for a campaign identified by `figure_id`.
+  /// With `resume` set, an existing journal is loaded (records replayed
+  /// into the lookup maps, torn tail truncated) — the header's figure id
+  /// must match. Without `resume`, any existing file at `path` is
+  /// replaced. `schema_version`/`build_sha` are stamped into the header of
+  /// a fresh journal so merged journals from different binaries are
+  /// detectable. Throws std::runtime_error on I/O failure or header
+  /// mismatch.
+  void open(const std::string& path, const std::string& figure_id, int schema_version,
+            const std::string& build_sha, bool resume);
+
+  [[nodiscard]] bool is_open() const noexcept { return file_ != nullptr; }
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+  /// Number of valid records loaded by a resume open.
+  [[nodiscard]] std::size_t replayed_records() const noexcept { return replayed_; }
+  /// True when the resume load found (and truncated) a torn tail.
+  [[nodiscard]] bool tail_truncated() const noexcept { return tail_truncated_; }
+
+  // -- lookups (journal state loaded at open + records appended since) --
+
+  /// Stats of a completed shard, or nullptr when the unit is not journaled
+  /// (or was journaled under a different params hash).
+  [[nodiscard]] const core::LinkStats* find_shard(const JournalKey& key,
+                                                  std::size_t shard) const;
+
+  /// True when the shard was quarantined by the watchdog in a previous
+  /// run: resume accounts it as `shard_timeout` instead of re-hanging.
+  [[nodiscard]] bool shard_quarantined(const JournalKey& key, std::size_t shard) const;
+
+  /// Published payload of a completed data point, or nullptr.
+  [[nodiscard]] const std::string* find_point(const JournalKey& key) const;
+
+  // -- appends (thread-safe, fsync'd before return) --
+
+  void record_shard(const JournalKey& key, std::size_t shard, const core::LinkStats& stats);
+  void record_quarantine(const JournalKey& key, std::size_t shard, std::size_t attempts);
+  /// `payload` must be newline-free; it is stored verbatim (the campaign
+  /// stores the final stamped JSONL record so resume republishes the
+  /// exact bytes).
+  void record_point(const JournalKey& key, const std::string& payload);
+
+  /// Flush + fsync any buffered bytes (appends already fsync; this is for
+  /// the graceful-shutdown drain path to be explicit).
+  void flush();
+
+  /// Close the journal file (lookup maps stay usable).
+  void close();
+
+ private:
+  void append_line(const std::string& body);
+  void load_existing(const std::string& figure_id, int schema_version);
+
+  mutable std::mutex mutex_;
+  std::FILE* file_ = nullptr;
+  std::string path_;
+  std::size_t replayed_ = 0;
+  bool tail_truncated_ = false;
+
+  // Keyed by "<point> <hash-hex> <shard>" / "<point> <hash-hex>".
+  std::unordered_map<std::string, core::LinkStats> shards_;
+  std::unordered_map<std::string, std::size_t> quarantined_;
+  std::unordered_map<std::string, std::string> points_;
+};
+
+}  // namespace bhss::runtime

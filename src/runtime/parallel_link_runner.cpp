@@ -31,17 +31,21 @@ core::ShardSeeds ParallelLinkRunner::shard_seeds(const core::SimConfig& cfg,
   };
 }
 
+ParallelLinkRunner::ShardRange ParallelLinkRunner::shard_range(std::size_t n_packets,
+                                                               std::size_t n_shards,
+                                                               std::size_t shard) noexcept {
+  const std::size_t base = n_packets / n_shards;
+  const std::size_t extra = n_packets % n_shards;
+  return {shard * base + std::min(shard, extra), base + (shard < extra ? 1 : 0)};
+}
+
 core::LinkStats ParallelLinkRunner::run(const core::SimConfig& cfg) {
   const std::size_t n_shards = options_.n_shards;
-  const std::size_t base = cfg.n_packets / n_shards;
-  const std::size_t extra = cfg.n_packets % n_shards;
-
   std::vector<core::LinkStats> parts(n_shards);
   pool_.parallel_for_shards(n_shards, [&](std::size_t shard) {
-    const std::size_t count = base + (shard < extra ? 1 : 0);
-    if (count == 0) return;
-    const std::size_t first = shard * base + std::min(shard, extra);
-    parts[shard] = core::run_link_shard(cfg, first, count, shard_seeds(cfg, shard));
+    const ShardRange range = shard_range(cfg.n_packets, n_shards, shard);
+    if (range.count == 0) return;
+    parts[shard] = core::run_link_shard(cfg, range.first, range.count, shard_seeds(cfg, shard));
   });
   return core::merge_link_stats(parts, cfg.payload_len);
 }

@@ -62,6 +62,19 @@ class ParallelLinkRunner {
   [[nodiscard]] static core::ShardSeeds shard_seeds(const core::SimConfig& cfg,
                                                     std::size_t shard) noexcept;
 
+  /// Global packet range [first, first + count) of shard `shard` when
+  /// `n_packets` packets are split over `n_shards` shards (the first
+  /// `n_packets % n_shards` shards carry one extra packet). This IS the
+  /// determinism contract's work partition: CampaignRunner journals and
+  /// resumes against exactly this plan, so a resumed campaign transmits
+  /// the same frames as an uninterrupted one.
+  struct ShardRange {
+    std::size_t first = 0;
+    std::size_t count = 0;
+  };
+  [[nodiscard]] static ShardRange shard_range(std::size_t n_packets, std::size_t n_shards,
+                                              std::size_t shard) noexcept;
+
  private:
   RunnerOptions options_;
   ThreadPool pool_;
