@@ -23,9 +23,19 @@
 ///   --shard-timeout=S  per-shard watchdog budget in seconds (0 = off):
 ///                      overrunning shards are retried with backoff, then
 ///                      quarantined as `shard_timeout` in the taxonomy
+///   --metrics=PATH     write per-point telemetry metrics (per-shard and
+///                      merged counter/gauge/histogram records) to PATH
+///                      (JSONL); merged stage timings go to PATH.timing
+///   --trace=PATH       write per-hop trace events (hop decisions with the
+///                      eq. (10) threshold terms, sync attempts/locks/
+///                      losses, fault hits) to PATH (JSONL)
 ///
 /// Every JSONL record is stamped with `schema_version` and the build's
 /// git SHA, so journals merged from different binaries are detectable.
+/// The --metrics/--trace streams contain no wall-clock fields, so they
+/// inherit the campaign's resume guarantee: a killed-and-resumed run
+/// publishes byte-identical telemetry JSONL (shard telemetry is journaled
+/// as `O` records and replayed bit-exactly).
 
 #include <chrono>
 #include <cstdio>
@@ -33,6 +43,8 @@
 #include <cstring>
 #include <optional>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/link_simulator.hpp"
 #include "runtime/campaign.hpp"
@@ -41,7 +53,9 @@ namespace bhss::bench {
 
 /// Version of the bench JSONL record layout. Bump when record fields
 /// change meaning; consumers refuse to merge mixed-schema journals.
-inline constexpr std::size_t kSchemaVersion = 2;
+/// v3: checkpoint journals may carry telemetry (`O`) records, and the
+/// --metrics/--trace JSONL streams exist.
+inline constexpr std::size_t kSchemaVersion = 3;
 
 /// Exit status of a gracefully drained (SIGINT/SIGTERM) checkpointed
 /// campaign: the run is incomplete but everything finished is journaled —
@@ -68,6 +82,13 @@ struct Options {
   std::string checkpoint_path;    ///< empty = checkpointing disabled
   std::string resume_path;        ///< non-empty = resume this journal
   double shard_timeout_s = 0.0;   ///< watchdog budget per shard; 0 = off
+  std::string metrics_path;       ///< empty = telemetry metrics disabled
+  std::string trace_path;         ///< empty = trace events disabled
+
+  /// True when any telemetry stream was requested.
+  [[nodiscard]] bool telemetry_enabled() const noexcept {
+    return !metrics_path.empty() || !trace_path.empty();
+  }
 
   /// Journal path in effect (resume wins over checkpoint).
   [[nodiscard]] const std::string& journal_path() const noexcept {
@@ -97,10 +118,14 @@ inline Options parse_options(int argc, char** argv, std::size_t default_packets 
       opt.resume_path = argv[i] + 9;
     } else if (std::strncmp(argv[i], "--shard-timeout=", 16) == 0) {
       opt.shard_timeout_s = std::strtod(argv[i] + 16, nullptr);
+    } else if (std::strncmp(argv[i], "--metrics=", 10) == 0) {
+      opt.metrics_path = argv[i] + 10;
+    } else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
+      opt.trace_path = argv[i] + 8;
     } else if (std::strcmp(argv[i], "--help") == 0) {
       std::printf("usage: %s [--packets=N] [--seed=N] [--jnr=dB] [--threads=N] [--shards=N]\n"
                   "          [--json=PATH] [--checkpoint=PATH] [--resume=PATH]\n"
-                  "          [--shard-timeout=S]\n",
+                  "          [--shard-timeout=S] [--metrics=PATH] [--trace=PATH]\n",
                   argv[0]);
       std::exit(0);
     }
@@ -156,6 +181,17 @@ class JsonLine {
     }
     quoted += '"';
     return raw(key, quoted.c_str());
+  }
+
+  /// Splice a pre-rendered `"key":value,...` fragment (the obs JSON body
+  /// helpers) into the object verbatim. The fragment must be valid JSON
+  /// object innards — this is the only way to carry arrays (histogram
+  /// bins) through the flat builder.
+  JsonLine& fragment(const std::string& body) {
+    if (body.empty()) return *this;
+    if (!body_.empty()) body_ += ",";
+    body_ += body;
+    return *this;
   }
 
   [[nodiscard]] std::string str() const { return "{" + body_ + "}"; }
@@ -324,6 +360,18 @@ class Campaign {
         journal_.is_open() ? &journal_ : nullptr);
     log_.open(opt.json_path);
     if (!opt.json_path.empty()) timing_.open(opt.json_path + ".timing");
+
+    if (opt.telemetry_enabled()) {
+      metrics_log_.open(opt.metrics_path);
+      trace_log_.open(opt.trace_path);
+      if (!opt.metrics_path.empty()) obs_timing_.open(opt.metrics_path + ".timing");
+      runner_->telemetry_sink = [this](const std::string& point_id,
+                                       const core::SimConfig& /*cfg*/,
+                                       const core::LinkStats& /*merged*/,
+                                       const std::vector<obs::ShardTelemetry>& shards) {
+        emit_telemetry(point_id, shards);
+      };
+    }
   }
 
   [[nodiscard]] runtime::CampaignRunner& runner() noexcept { return *runner_; }
@@ -384,6 +432,9 @@ class Campaign {
   int abandon_resumable() {
     log_.abandon();
     timing_.abandon();
+    metrics_log_.abandon();
+    trace_log_.abandon();
+    obs_timing_.abandon();
     journal_.flush();
     std::fprintf(stderr, "%s: interrupted — journal flushed; rerun with --resume=%s\n",
                  figure_.c_str(), journal_.path().c_str());
@@ -391,11 +442,64 @@ class Campaign {
   }
 
  private:
+  /// Telemetry emitter, invoked by the campaign runner after every
+  /// point's merge (including points replayed wholly from the journal).
+  /// Record order is deterministic: per-shard metrics in ascending shard
+  /// order, then the merged metrics record; trace events in (point,
+  /// shard, event) order with one drop-accounting record per shard that
+  /// overflowed its ring. Stage timings are wall-clock and go to the
+  /// `.timing` sidecar, never the published streams.
+  void emit_telemetry(const std::string& point_id,
+                      const std::vector<obs::ShardTelemetry>& shards) {
+    if (metrics_log_.enabled()) {
+      for (std::size_t i = 0; i < shards.size(); ++i) {
+        JsonLine line;
+        line.add("point", point_id.c_str()).add("shard", i);
+        line.fragment(obs::metrics_json_body(shards[i].metrics));
+        metrics_log_.write(std::move(line));
+      }
+      const obs::ShardTelemetry merged = obs::merge_telemetry(shards, shards.size());
+      JsonLine line;
+      line.add("point", point_id.c_str()).add("shard", "merged");
+      line.fragment(obs::metrics_json_body(merged.metrics));
+      metrics_log_.write(std::move(line));
+      if (obs_timing_.enabled()) {
+        JsonLine timing;
+        timing.add("point", point_id.c_str());
+        timing.fragment(obs::scope_stats_json_body(merged.trace));
+        obs_timing_.write_raw(timing.str());
+      }
+    }
+    if (trace_log_.enabled()) {
+      for (std::size_t i = 0; i < shards.size(); ++i) {
+        const obs::TraceSink& sink = shards[i].trace;
+        std::size_t seq = 0;
+        for (const obs::TraceEvent& ev : sink.events()) {
+          JsonLine line;
+          line.add("point", point_id.c_str()).add("shard", i).add("seq", seq++);
+          line.fragment(obs::trace_event_json_body(ev));
+          trace_log_.write(std::move(line));
+        }
+        if (sink.dropped() > 0) {
+          JsonLine line;
+          line.add("point", point_id.c_str()).add("shard", i);
+          line.add("event", "ring_overflow")
+              .add("dropped", sink.dropped())
+              .add("total_recorded", sink.total_recorded());
+          trace_log_.write(std::move(line));
+        }
+      }
+    }
+  }
+
   std::string figure_;
   runtime::CheckpointJournal journal_;
   std::optional<runtime::CampaignRunner> runner_;
   JsonLog log_;
   JsonLog timing_;
+  JsonLog metrics_log_;
+  JsonLog trace_log_;
+  JsonLog obs_timing_;
 };
 
 }  // namespace bhss::bench

@@ -29,6 +29,7 @@
 #include "dsp/fft.hpp"
 #include "dsp/fir.hpp"
 #include "dsp/psd.hpp"
+#include "obs/link_obs.hpp"
 #include "phy/modulator.hpp"
 #include "phy/spreader.hpp"
 #include "runtime/parallel_link_runner.hpp"
@@ -260,6 +261,67 @@ void BM_RunLink(benchmark::State& state) {
                           static_cast<std::int64_t>(cfg.n_packets));
 }
 BENCHMARK(BM_RunLink)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+
+// ------------------------------------------------------------ observability
+
+/// Same simulation as BM_RunLink with per-shard telemetry collected, so
+/// the enabled-path overhead of the obs layer is the delta to BM_RunLink
+/// at the same thread count. (BM_RunLink itself is left untouched: it is
+/// the telemetry-disabled regression gate against BENCH_kernels.json.)
+void BM_RunLinkTelemetry(benchmark::State& state) {
+  const auto n_threads = static_cast<std::size_t>(state.range(0));
+  runtime::ParallelLinkRunner runner({.n_threads = n_threads, .n_shards = 16});
+  core::SimConfig cfg;
+  cfg.payload_len = 4;
+  cfg.n_packets = 16;
+  cfg.snr_db = 12.0;
+  cfg.jnr_db = 20.0;
+  cfg.jammer.kind = core::JammerSpec::Kind::fixed_bandwidth;
+  cfg.jammer.bandwidth_frac = 0.1;
+  std::vector<obs::ShardTelemetry> telemetry;
+  for (auto _ : state) {
+    const core::LinkStats s = runner.run(cfg, &telemetry);
+    benchmark::DoNotOptimize(s.ok);
+    benchmark::DoNotOptimize(telemetry.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(cfg.n_packets));
+}
+BENCHMARK(BM_RunLinkTelemetry)->Arg(1)->Arg(8)->Unit(benchmark::kMillisecond);
+
+/// Raw cost of one counter bump + one histogram observe on the canonical
+/// link schema — the per-site price paid inside the hop loop.
+void BM_MetricsShardObserve(benchmark::State& state) {
+  obs::MetricsShard shard(&obs::link_registry());
+  const obs::LinkIds& ids = obs::link_ids();
+  double v = 0.0;
+  for (auto _ : state) {
+    shard.add(ids.hops);
+    shard.observe(ids.est_jammer_bw, v);
+    v += 0.001;
+    if (v > 1.0) v = 0.0;
+    benchmark::DoNotOptimize(shard);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MetricsShardObserve);
+
+/// Raw cost of pushing one POD event into the bounded trace ring
+/// (steady-state: the ring is full, every push overwrites the oldest).
+void BM_TracePush(benchmark::State& state) {
+  obs::TraceSink sink(1024);
+  obs::TraceEvent ev;
+  ev.type = obs::TraceEventType::hop_decision;
+  ev.v0 = 0.25;
+  ev.v1 = 0.5;
+  for (auto _ : state) {
+    ev.hop += 1;
+    sink.push(ev);
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TracePush);
 
 }  // namespace
 

@@ -1,0 +1,191 @@
+#!/usr/bin/env bash
+# Line-coverage report + baseline gate for the production sources (src/).
+#
+# Usage:
+#   scripts/coverage_report.sh [build-dir]
+#
+# The build dir defaults to build-coverage/ and must have been configured
+# with -DBHSS_COVERAGE=ON (the `coverage` CMake preset does this):
+#
+#   cmake --preset coverage
+#   cmake --build --preset coverage -j
+#   scripts/coverage_report.sh
+#
+# The script resets stale counters, runs the full ctest suite, aggregates
+# gcov's JSON intermediate format with an embedded python3 helper (the CI
+# image ships gcc + gcov only — no gcovr/lcov/genhtml), and writes
+#
+#   <build-dir>/coverage/index.html          per-file table, uncovered lines
+#   <build-dir>/coverage/coverage_total.txt  total line coverage, e.g. "87.3"
+#
+# Gate: if scripts/coverage_baseline.txt exists, a total below that number
+# fails the script (exit 1). The baseline is recorded slightly under the
+# measured value so environment noise does not flap the gate; raise it when
+# a PR meaningfully grows coverage, never lower it to make CI pass.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "${repo_root}"
+
+build_dir="${1:-build-coverage}"
+if [[ ! -f "${build_dir}/CMakeCache.txt" ]]; then
+  echo "coverage_report: ${build_dir} is not configured." >&2
+  echo "coverage_report: run  cmake --preset coverage && cmake --build --preset coverage -j" >&2
+  exit 1
+fi
+if ! grep -q 'BHSS_COVERAGE:BOOL=ON' "${build_dir}/CMakeCache.txt"; then
+  echo "coverage_report: ${build_dir} was not configured with BHSS_COVERAGE=ON." >&2
+  exit 1
+fi
+
+gcov_bin="${GCOV:-gcov}"
+if ! command -v "${gcov_bin}" > /dev/null 2>&1; then
+  echo "coverage_report: ${gcov_bin} not found on PATH." >&2
+  exit 1
+fi
+
+# Stale .gcda from a previous run would double-count; reset before ctest.
+find "${build_dir}" -name '*.gcda' -delete
+
+jobs="$(nproc 2> /dev/null || echo 2)"
+ctest --test-dir "${build_dir}" --output-on-failure -j "${jobs}"
+
+out_dir="${build_dir}/coverage"
+mkdir -p "${out_dir}"
+
+GCOV_BIN="${gcov_bin}" python3 - "${build_dir}" "${repo_root}/src" "${out_dir}" << 'PYEOF'
+import html
+import json
+import os
+import subprocess
+import sys
+
+build_dir, src_prefix, out_dir = sys.argv[1], sys.argv[2], sys.argv[3]
+src_prefix = os.path.abspath(src_prefix) + os.sep
+gcov = os.environ.get("GCOV_BIN", "gcov")
+
+gcnos = []
+for root, _dirs, names in os.walk(build_dir):
+    gcnos.extend(os.path.abspath(os.path.join(root, n))
+                 for n in names if n.endswith(".gcno"))
+gcnos.sort()
+if not gcnos:
+    print("coverage_report: no .gcno files under", build_dir, file=sys.stderr)
+    sys.exit(1)
+
+# path -> {line_number -> max hit count across all objects including it}.
+# max, not sum: the same header line compiled into N objects is one line.
+coverage = {}
+failed = 0
+for gcno in gcnos:
+    proc = subprocess.run([gcov, "--json-format", "--stdout", gcno],
+                          cwd=build_dir, capture_output=True, text=True)
+    if proc.returncode != 0:
+        failed += 1
+        continue
+    for raw in proc.stdout.splitlines():
+        raw = raw.strip()
+        if not raw.startswith("{"):
+            continue
+        doc = json.loads(raw)
+        for f in doc.get("files", []):
+            path = f.get("file", "")
+            if not os.path.isabs(path):
+                path = os.path.join(build_dir, path)
+            path = os.path.abspath(path)
+            if not path.startswith(src_prefix):
+                continue
+            lines = coverage.setdefault(path, {})
+            for ln in f.get("lines", []):
+                n = ln.get("line_number")
+                c = ln.get("count", 0)
+                if n is not None:
+                    lines[n] = max(lines.get(n, 0), c)
+
+if failed:
+    print(f"coverage_report: warning: gcov failed on {failed}/{len(gcnos)} objects",
+          file=sys.stderr)
+if not coverage:
+    print("coverage_report: no instrumented lines under", src_prefix, file=sys.stderr)
+    sys.exit(1)
+
+rows = []
+total_lines = total_hit = 0
+for path in sorted(coverage):
+    lines = coverage[path]
+    hit = sum(1 for c in lines.values() if c > 0)
+    total_lines += len(lines)
+    total_hit += hit
+    missed = sorted(n for n, c in lines.items() if c == 0)
+    rel = os.path.relpath(path, os.path.dirname(src_prefix.rstrip(os.sep)))
+    rows.append((rel, hit, len(lines), missed))
+
+total_pct = 100.0 * total_hit / total_lines
+
+
+def pct_cell(hit, total):
+    pct = 100.0 * hit / total if total else 100.0
+    klass = "good" if pct >= 90.0 else ("warn" if pct >= 70.0 else "bad")
+    return pct, klass
+
+
+def compress(missed):
+    """Render sorted line numbers as compact ranges: 3-5, 9, 12-14."""
+    spans, start, prev = [], None, None
+    for n in missed:
+        if start is None:
+            start = prev = n
+        elif n == prev + 1:
+            prev = n
+        else:
+            spans.append((start, prev))
+            start = prev = n
+    if start is not None:
+        spans.append((start, prev))
+    return ", ".join(str(a) if a == b else f"{a}-{b}" for a, b in spans)
+
+
+out = [
+    "<!DOCTYPE html><html><head><meta charset='utf-8'>",
+    "<title>bhss line coverage</title><style>",
+    "body{font-family:monospace;margin:2em}table{border-collapse:collapse}",
+    "td,th{border:1px solid #999;padding:3px 8px;text-align:left}",
+    ".good{background:#cfc}.warn{background:#ffc}.bad{background:#fcc}",
+    ".miss{color:#666;font-size:85%}",
+    "</style></head><body><h1>bhss line coverage (src/)</h1>",
+    f"<p>Total: <b>{total_pct:.1f}%</b> ({total_hit}/{total_lines} lines)</p>",
+    "<table><tr><th>file</th><th>covered</th><th>%</th><th>uncovered lines</th></tr>",
+]
+for rel, hit, total, missed in rows:
+    pct, klass = pct_cell(hit, total)
+    out.append(
+        f"<tr><td>{html.escape(rel)}</td><td>{hit}/{total}</td>"
+        f"<td class='{klass}'>{pct:.1f}</td>"
+        f"<td class='miss'>{html.escape(compress(missed))}</td></tr>")
+out.append("</table></body></html>")
+
+with open(os.path.join(out_dir, "index.html"), "w") as fh:
+    fh.write("\n".join(out))
+with open(os.path.join(out_dir, "coverage_total.txt"), "w") as fh:
+    fh.write(f"{total_pct:.1f}\n")
+print(f"coverage_report: total {total_pct:.1f}% ({total_hit}/{total_lines} lines, "
+      f"{len(rows)} files)")
+PYEOF
+
+total="$(cat "${out_dir}/coverage_total.txt")"
+echo "coverage_report: report at ${out_dir}/index.html"
+
+baseline_file="${repo_root}/scripts/coverage_baseline.txt"
+if [[ -f "${baseline_file}" ]]; then
+  baseline="$(tr -d '[:space:]' < "${baseline_file}")"
+  if python3 -c "import sys; sys.exit(0 if float('${total}') >= float('${baseline}') else 1)"; then
+    echo "coverage_report: ${total}% >= baseline ${baseline}% — gate passed."
+  else
+    echo "coverage_report: ${total}% is BELOW the recorded baseline ${baseline}%." >&2
+    echo "coverage_report: add tests for the uncovered lines (see the report)," >&2
+    echo "coverage_report: do not lower scripts/coverage_baseline.txt to pass." >&2
+    exit 1
+  fi
+else
+  echo "coverage_report: no baseline recorded (scripts/coverage_baseline.txt missing); gate skipped."
+fi

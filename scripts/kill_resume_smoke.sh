@@ -10,6 +10,13 @@
 #   5. same again with SIGINT: the graceful drain must exit with the
 #      distinct resumable status (75) and resume to the identical bytes.
 #
+# Every run also carries --metrics/--trace, so the same byte-identity bar
+# is applied to the observability streams: the telemetry JSONL of an
+# 8-thread killed-and-resumed run must equal the 1-thread uninterrupted
+# reference byte for byte (the journal's O records make this possible).
+# The .timing sidecar carries wall-clock scope stats and is deliberately
+# NOT compared.
+#
 # Usage: kill_resume_smoke.sh [bench-binary] [packets]
 # Works under ASan (slower binaries just move the kill point earlier in
 # the sweep, which is exactly the point).
@@ -32,11 +39,15 @@ trap 'rm -rf "$WORK"' EXIT
 cd "$WORK"
 
 echo "== reference run (1 thread, no checkpoint)"
-"$BENCH" --packets="$PACKETS" --threads=1 --json=ref.jsonl >/dev/null
+"$BENCH" --packets="$PACKETS" --threads=1 --json=ref.jsonl \
+  --metrics=ref_metrics.jsonl --trace=ref_trace.jsonl >/dev/null
 [[ -s ref.jsonl ]] || { echo "FAIL: reference produced no JSONL" >&2; exit 1; }
+[[ -s ref_metrics.jsonl ]] || { echo "FAIL: reference produced no metrics JSONL" >&2; exit 1; }
+[[ -s ref_trace.jsonl ]] || { echo "FAIL: reference produced no trace JSONL" >&2; exit 1; }
 
 echo "== checkpointed run (8 threads), SIGKILL after ${KILL_AFTER_S}s"
 "$BENCH" --packets="$PACKETS" --threads=8 --json=kill.jsonl --checkpoint=kill.ckpt \
+  --metrics=kill_metrics.jsonl --trace=kill_trace.jsonl \
   >/dev/null 2>&1 &
 PID=$!
 sleep "$KILL_AFTER_S"
@@ -50,18 +61,30 @@ else
 fi
 [[ -s kill.ckpt ]] || { echo "FAIL: no journal written" >&2; exit 1; }
 [[ ! -f kill.jsonl ]] || { echo "FAIL: half-finished JSONL was published" >&2; exit 1; }
+[[ ! -f kill_metrics.jsonl ]] || { echo "FAIL: half-finished metrics JSONL was published" >&2; exit 1; }
+[[ ! -f kill_trace.jsonl ]] || { echo "FAIL: half-finished trace JSONL was published" >&2; exit 1; }
 
 echo "== resume"
-"$BENCH" --packets="$PACKETS" --threads=8 --json=kill.jsonl --resume=kill.ckpt >/dev/null
+"$BENCH" --packets="$PACKETS" --threads=8 --json=kill.jsonl --resume=kill.ckpt \
+  --metrics=kill_metrics.jsonl --trace=kill_trace.jsonl >/dev/null
 cmp ref.jsonl kill.jsonl || {
   echo "FAIL: resumed JSONL differs from the uninterrupted reference" >&2
   exit 1
 }
-echo "   resumed JSONL byte-identical to the reference"
+cmp ref_metrics.jsonl kill_metrics.jsonl || {
+  echo "FAIL: resumed metrics JSONL differs from the uninterrupted reference" >&2
+  exit 1
+}
+cmp ref_trace.jsonl kill_trace.jsonl || {
+  echo "FAIL: resumed trace JSONL differs from the uninterrupted reference" >&2
+  exit 1
+}
+echo "   resumed JSONL + metrics + trace byte-identical to the reference"
 
 echo "== graceful drain (SIGINT) must exit $EXIT_RESUMABLE"
-rm -f int.jsonl int.jsonl.tmp int.ckpt
+rm -f int.jsonl int.jsonl.tmp int.ckpt int_metrics.jsonl int_trace.jsonl
 "$BENCH" --packets="$PACKETS" --threads=8 --json=int.jsonl --checkpoint=int.ckpt \
+  --metrics=int_metrics.jsonl --trace=int_trace.jsonl \
   >/dev/null 2>&1 &
 PID=$!
 sleep "$KILL_AFTER_S"
@@ -78,11 +101,20 @@ else
   echo "   run finished before the interrupt — resume degenerates to a full replay"
 fi
 
-"$BENCH" --packets="$PACKETS" --threads=8 --json=int.jsonl --resume=int.ckpt >/dev/null
+"$BENCH" --packets="$PACKETS" --threads=8 --json=int.jsonl --resume=int.ckpt \
+  --metrics=int_metrics.jsonl --trace=int_trace.jsonl >/dev/null
 cmp ref.jsonl int.jsonl || {
   echo "FAIL: drained+resumed JSONL differs from the reference" >&2
   exit 1
 }
-echo "   drained+resumed JSONL byte-identical to the reference"
+cmp ref_metrics.jsonl int_metrics.jsonl || {
+  echo "FAIL: drained+resumed metrics JSONL differs from the reference" >&2
+  exit 1
+}
+cmp ref_trace.jsonl int_trace.jsonl || {
+  echo "FAIL: drained+resumed trace JSONL differs from the reference" >&2
+  exit 1
+}
+echo "   drained+resumed JSONL + metrics + trace byte-identical to the reference"
 
-echo "PASS: kill/resume and drain/resume both reproduce the reference bytes"
+echo "PASS: kill/resume and drain/resume both reproduce the reference bytes (incl. telemetry)"

@@ -129,7 +129,9 @@ FilterDecision ControlLogic::force_lowpass(std::size_t bw_index) const {
   return d;
 }
 
-FilterDecision ControlLogic::force_excision(dsp::cspan slice, std::size_t bw_index) const {
+FilterDecision ControlLogic::force_excision(dsp::cspan slice, std::size_t bw_index,
+                                            obs::TraceSink* trace) const {
+  BHSS_TRACE_SCOPE(trace, obs::TraceScopeId::choose_filter);
   const std::size_t n = design_fft(bw_index);
   dsp::fvec psd = smooth_psd(estimate_psd(slice, n), std::max<std::size_t>(1, n / 512));
   const double passband = std::min(1.0, 2.0 * lpf_cutoff_frac(bw_index));
@@ -187,7 +189,9 @@ FilterDecision ControlLogic::force_excision(dsp::cspan slice, std::size_t bw_ind
   return d;
 }
 
-FilterDecision ControlLogic::decide(dsp::cspan slice, std::size_t bw_index) const {
+FilterDecision ControlLogic::decide(dsp::cspan slice, std::size_t bw_index,
+                                    obs::TraceSink* trace) const {
+  BHSS_TRACE_SCOPE(trace, obs::TraceScopeId::choose_filter);
   const std::size_t n = detection_fft(slice.size(), bw_index);
   const dsp::fvec psd = estimate_psd(slice, n);
   const double signal_frac = bands_.bandwidth_frac(bw_index);

@@ -18,6 +18,7 @@
 #include "dsp/fir.hpp"
 #include "dsp/psd.hpp"
 #include "dsp/types.hpp"
+#include "obs/trace.hpp"
 
 namespace bhss::core {
 
@@ -101,12 +102,16 @@ class ControlLogic {
 
   /// Inspect `slice` (raw received samples of one hop) and choose the
   /// suppression filter for a signal at bandwidth level `bw_index`.
-  [[nodiscard]] FilterDecision decide(dsp::cspan slice, std::size_t bw_index) const;
+  /// `trace` (optional) accumulates the choose_filter timing scope; the
+  /// decision itself is unaffected.
+  [[nodiscard]] FilterDecision decide(dsp::cspan slice, std::size_t bw_index,
+                                      obs::TraceSink* trace = nullptr) const;
 
   /// Force a specific filter kind (used by ablation benches):
   /// lowpass from the bank, or excision from the measured PSD.
   [[nodiscard]] FilterDecision force_lowpass(std::size_t bw_index) const;
-  [[nodiscard]] FilterDecision force_excision(dsp::cspan slice, std::size_t bw_index) const;
+  [[nodiscard]] FilterDecision force_excision(dsp::cspan slice, std::size_t bw_index,
+                                              obs::TraceSink* trace = nullptr) const;
 
   [[nodiscard]] const ControlLogicConfig& config() const noexcept { return config_; }
 

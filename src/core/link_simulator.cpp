@@ -78,7 +78,8 @@ class JammerBox {
 }  // namespace
 
 LinkStats run_link_shard(const SimConfig& cfg, std::size_t first_packet,
-                         std::size_t n_packets, const ShardSeeds& seeds) {
+                         std::size_t n_packets, const ShardSeeds& seeds,
+                         const obs::LinkObs& o) {
   const BhssTransmitter tx(cfg.system);
   const BhssReceiver rx(cfg.system);
   channel::AwgnSource noise(seeds.channel);
@@ -126,13 +127,13 @@ LinkStats run_link_shard(const SimConfig& cfg, std::size_t first_packet,
     // sharded run degrades exactly like a sequential one.
     if (injector.enabled()) {
       const fault::FaultPlan plan = injector.plan_for_packet(pkt, rx_signal.size());
-      const fault::FaultLog applied = injector.apply(plan, rx_signal);
+      const fault::FaultLog applied = injector.apply(plan, rx_signal, o);
       stats.faults_injected += applied.total();
     }
 
     const std::size_t search_window = link.tx_delay + cfg.max_delay / 4 + 64;
     const RxResult res =
-        rx.receive(rx_signal, pkt, cfg.payload_len, search_window, link.tx_delay);
+        rx.receive(rx_signal, pkt, cfg.payload_len, search_window, link.tx_delay, o);
 
     ++stats.packets;
     stats.airtime_s += static_cast<double>(t.samples.size()) / sample_rate;
@@ -143,6 +144,24 @@ LinkStats run_link_shard(const SimConfig& cfg, std::size_t first_packet,
     stats.filter_fallback += res.filter_fallbacks;
     const bool delivered = res.crc_ok && res.payload == payload;
     if (delivered) ++stats.ok;
+
+    if (obs::counting(o.metrics)) {
+      const obs::LinkIds& ids = obs::link_ids();
+      o.metrics->add(ids.packets);
+      if (res.frame_detected) o.metrics->add(ids.detected);
+      if (delivered) o.metrics->add(ids.delivered);
+    }
+    if (obs::tracing(o.trace)) {
+      obs::TraceEvent ev;
+      ev.type = obs::TraceEventType::packet_done;
+      ev.flag = delivered ? 1 : 0;
+      ev.hop = static_cast<std::uint32_t>(res.hops.size());
+      ev.packet = pkt;
+      ev.v0 = static_cast<double>(res.sync_attempts);
+      ev.v1 = static_cast<double>(res.filter_fallbacks);
+      ev.v2 = res.frame_detected ? 1.0 : 0.0;
+      o.trace->push(ev);
+    }
 
     const std::size_t n = std::min(res.symbols.size(), t.symbols.size());
     stats.total_symbols += t.symbols.size();

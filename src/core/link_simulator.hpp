@@ -14,6 +14,7 @@
 #include "core/system_config.hpp"
 #include "core/transmitter.hpp"
 #include "fault/fault_plan.hpp"
+#include "obs/link_obs.hpp"
 
 namespace bhss::core {
 
@@ -98,8 +99,19 @@ struct LinkStats {
   }
 };
 
-/// Merge shard statistics in shard order; `throughput_bps` is recomputed
-/// from the merged totals. Deterministic for a fixed shard sequence.
+/// Merge shard statistics under the shared merge-order contract:
+///
+///   The merge is a LEFT FOLD IN ASCENDING SHARD ORDER over a vector
+///   whose length equals the run's shard count — shard i's contribution
+///   sits at index i, and quarantined shards contribute a
+///   default-constructed element at their index (never a shorter
+///   vector). `obs::merge_telemetry` merges per-shard telemetry under
+///   the *same* contract, and `runtime::merge_point_results`
+///   BHSS_REQUIREs that both vectors agree on the length, so the two
+///   merges cannot silently diverge.
+///
+/// `throughput_bps` is recomputed from the merged totals. Deterministic
+/// for a fixed shard sequence.
 [[nodiscard]] LinkStats merge_link_stats(const std::vector<LinkStats>& shards,
                                          std::size_t payload_len);
 
@@ -116,8 +128,12 @@ struct ShardSeeds {
 /// with an explicit seed tuple. Packet indices are global: the payload and
 /// the shared-randomness frame counter depend only on the index, so a
 /// sharded run transmits exactly the same frames as a sequential one.
+/// `o` (optional) is this shard's telemetry — per-packet counters, hop
+/// decision traces and stage timings; the simulation itself is
+/// bit-identical with or without it.
 [[nodiscard]] LinkStats run_link_shard(const SimConfig& cfg, std::size_t first_packet,
-                                       std::size_t n_packets, const ShardSeeds& seeds);
+                                       std::size_t n_packets, const ShardSeeds& seeds,
+                                       const obs::LinkObs& o = {});
 
 /// Run `cfg.n_packets` packets through the link.
 [[nodiscard]] LinkStats run_link(const SimConfig& cfg);

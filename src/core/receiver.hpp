@@ -16,6 +16,7 @@
 #include "core/hop_schedule.hpp"
 #include "core/system_config.hpp"
 #include "dsp/types.hpp"
+#include "obs/link_obs.hpp"
 #include "sync/preamble_sync.hpp"
 
 namespace bhss::core {
@@ -62,22 +63,27 @@ class BhssReceiver {
   ///                         checked against it)
   /// @param search_window    max lag to search for the preamble
   /// @param genie_frame_start exact frame start, used in SyncMode::genie
+  /// @param o                 optional telemetry hooks (metrics + trace);
+  ///                          decoding is bit-identical with or without
+  ///                          them — instrumentation only observes
   [[nodiscard]] RxResult receive(dsp::cspan rx, std::uint64_t frame_counter,
                                  std::size_t payload_len, std::size_t search_window,
-                                 std::size_t genie_frame_start = 0) const;
+                                 std::size_t genie_frame_start = 0,
+                                 const obs::LinkObs& o = {}) const;
 
   [[nodiscard]] const SystemConfig& config() const noexcept { return config_; }
   [[nodiscard]] const ControlLogic& control_logic() const noexcept { return logic_; }
 
  private:
   /// Apply the configured filter policy to one hop slice.
-  [[nodiscard]] FilterDecision choose_filter(dsp::cspan slice, std::size_t bw_index) const;
+  [[nodiscard]] FilterDecision choose_filter(dsp::cspan slice, std::size_t bw_index,
+                                             obs::TraceSink* trace) const;
 
   /// Filter `buffer` around [a0, a0+needed) with `decision`, returning the
   /// group-delay-compensated samples aligned to a0 (zero-padded at edges).
   [[nodiscard]] dsp::cvec filtered_slice(dsp::cspan buffer, std::size_t a0,
-                                         std::size_t needed,
-                                         const FilterDecision& decision) const;
+                                         std::size_t needed, const FilterDecision& decision,
+                                         obs::TraceSink* trace) const;
 
   SystemConfig config_;
   ControlLogic logic_;

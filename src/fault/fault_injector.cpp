@@ -29,16 +29,34 @@ dsp::cf gaussian_sample(core::SharedRandom& rng, double power) {
 
 }  // namespace
 
-FaultLog FaultInjector::apply(const FaultPlan& plan, dsp::cvec& capture) const {
+FaultLog FaultInjector::apply(const FaultPlan& plan, dsp::cvec& capture,
+                              const obs::LinkObs& o) const {
+  BHSS_TRACE_SCOPE(o.trace, obs::TraceScopeId::fault_inject);
   FaultLog log;
   if (plan.events.empty()) return log;
 
   core::SharedRandom noise_rng(
       core::SharedRandom::split_seed(config_.seed, kBurstNoiseStream, plan.packet_index));
 
+  std::uint32_t ordinal = 0;
   for (const FaultEvent& ev : plan.events) {
     if (capture.empty()) break;
     const std::size_t offset = std::min(ev.offset, capture.size() - 1);
+    if (obs::tracing(o.trace)) {
+      obs::TraceEvent te;
+      te.type = obs::TraceEventType::fault_applied;
+      te.flag = static_cast<std::uint8_t>(ev.kind);
+      te.hop = ordinal;
+      te.packet = plan.packet_index;
+      te.v0 = static_cast<double>(offset);
+      te.v1 = static_cast<double>(ev.length);
+      te.v2 = ev.magnitude;
+      o.trace->push(te);
+    }
+    if (obs::counting(o.metrics)) {
+      o.metrics->add(obs::link_ids().fault_events);
+    }
+    ++ordinal;
     switch (ev.kind) {
       case FaultKind::jammer_burst: {
         const std::size_t end = std::min(offset + ev.length, capture.size());

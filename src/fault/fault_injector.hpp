@@ -12,6 +12,7 @@
 
 #include "dsp/types.hpp"
 #include "fault/fault_plan.hpp"
+#include "obs/link_obs.hpp"
 
 namespace bhss::fault {
 
@@ -49,8 +50,11 @@ class FaultInjector {
   /// Apply `plan` to `capture` in event order. Length-changing events
   /// (drops, duplications, clock jumps) resize the buffer; offsets are
   /// clamped to the buffer's current size, so any plan is safe to apply
-  /// to any capture.
-  FaultLog apply(const FaultPlan& plan, dsp::cvec& capture) const;
+  /// to any capture. `obs` (optional) records one fault_applied trace
+  /// event + a fault_events count per event and the fault_inject timing
+  /// scope; the capture mutation is identical with or without it.
+  FaultLog apply(const FaultPlan& plan, dsp::cvec& capture,
+                 const obs::LinkObs& o = {}) const;
 
  private:
   FaultConfig config_;

@@ -1,0 +1,107 @@
+#pragma once
+
+/// @file link_obs.hpp
+/// Canonical telemetry schema for the link pipeline + the per-shard
+/// bundle that rides alongside LinkStats through `run_link_shard`.
+///
+/// Merge-order contract (shared with `core::merge_link_stats`, see
+/// link_simulator.hpp): per-shard telemetry is merged as a left fold in
+/// ascending shard order over a vector whose length equals the shard
+/// count of the run. `runtime::merge_point_results` BHSS_REQUIREs that
+/// the stats and telemetry vectors agree on that length, so the two
+/// merges can never silently diverge.
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace bhss::obs {
+
+/// Stable instrument ids of the canonical link registry. Counters sum
+/// across shards; gauges keep the value of the highest shard that set
+/// them; histograms sum bin-wise.
+struct LinkIds {
+  // counters
+  std::size_t packets = 0;          ///< packets simulated
+  std::size_t delivered = 0;        ///< CRC-clean deliveries
+  std::size_t detected = 0;         ///< frames detected (genie or sync lock)
+  std::size_t sync_attempts = 0;    ///< preamble acquisition attempts
+  std::size_t sync_locks = 0;       ///< accepted acquisitions
+  std::size_t sync_losses = 0;      ///< frames lost after all attempts
+  std::size_t reacquired = 0;       ///< locks that needed a retry
+  std::size_t hops = 0;             ///< hop slices demodulated
+  std::size_t filter_none = 0;      ///< per-hop decision: no filtering
+  std::size_t filter_lowpass = 0;   ///< per-hop decision: low-pass (eq. (3))
+  std::size_t filter_excision = 0;  ///< per-hop decision: excision (eq. (4))
+  std::size_t degenerate_psd = 0;   ///< hops decided via the degenerate-PSD fallback
+  std::size_t input_scrubbed = 0;   ///< frames with NaN/Inf samples scrubbed
+  std::size_t fault_events = 0;     ///< fault-injector events applied
+  // gauges
+  std::size_t last_sync_quality = 0;
+  std::size_t last_sync_margin = 0;
+  // histograms
+  std::size_t est_jammer_bw = 0;  ///< estimated jammer occupancy (fraction of band)
+  std::size_t inband_peak_db = 0; ///< in-band peak-over-median (dB)
+  std::size_t sync_margin = 0;    ///< CFAR margin of accepted locks
+};
+
+/// Process-wide canonical schema (built once, immortal) and its ids.
+[[nodiscard]] const MetricsRegistry& link_registry();
+[[nodiscard]] const LinkIds& link_ids();
+
+/// Borrowed telemetry hooks threaded through the receiver chain. Both
+/// pointers may be null ("off"); all instrumentation sites are null-safe
+/// and compile out entirely under -DBHSS_OBS_DISABLED.
+struct LinkObs {
+  MetricsShard* metrics = nullptr;
+  TraceSink* trace = nullptr;
+};
+
+/// Guard for metric instrumentation sites: `if (counting(o.metrics))`.
+[[nodiscard]] inline bool counting(const MetricsShard* metrics) noexcept {
+  return obs_enabled() && metrics != nullptr;
+}
+
+/// One shard's owned telemetry: canonical-schema metrics + event ring.
+struct ShardTelemetry {
+  explicit ShardTelemetry(std::size_t trace_capacity = kDefaultTraceCapacity)
+      : metrics(&link_registry()), trace(trace_capacity) {}
+
+  MetricsShard metrics;
+  TraceSink trace;
+
+  [[nodiscard]] LinkObs obs() noexcept { return LinkObs{&metrics, &trace}; }
+};
+
+/// Left fold in ascending shard order (the shared merge-order contract).
+/// BHSS_REQUIREs shards.size() == expected_shards. The merged bundle
+/// carries merged metrics and summed scope timings; its event ring is
+/// empty — events are emitted per shard, in shard order, never re-rung.
+[[nodiscard]] ShardTelemetry merge_telemetry(const std::vector<ShardTelemetry>& shards,
+                                             std::size_t expected_shards);
+
+// -- deterministic wire formats ---------------------------------------
+
+/// Serialize one shard's telemetry to a single whitespace-free-token
+/// line (doubles as IEEE-754 hex bit patterns, like the checkpoint
+/// journal's stats lines). Bit-exact round trip; scope timings are
+/// excluded (non-deterministic by nature).
+[[nodiscard]] std::string serialize_telemetry(const ShardTelemetry& t);
+
+/// Inverse of serialize_telemetry against the canonical link registry.
+/// Returns false (leaving `out` unspecified) on any malformed input.
+[[nodiscard]] bool deserialize_telemetry(std::string_view text, ShardTelemetry& out);
+
+/// JSON body fragments (`"key":value,...` without braces) for the JSONL
+/// emitters. Deterministic: fixed key order, integers verbatim, doubles
+/// printed with %.17g (shortest exact round trip is not needed — equal
+/// bits always print equal bytes).
+[[nodiscard]] std::string metrics_json_body(const MetricsShard& m);
+[[nodiscard]] std::string trace_event_json_body(const TraceEvent& ev);
+[[nodiscard]] std::string scope_stats_json_body(const TraceSink& t);
+
+}  // namespace bhss::obs

@@ -31,14 +31,25 @@ void handle_drain_signal(int /*signum*/) { g_interrupt = 1; }
 /// detach makes process teardown race whatever shared state the runaway
 /// thread still touches. Park such threads here instead: the campaign
 /// moves on immediately, and join_abandoned_threads() lets tests wait
-/// them out. The vector is deliberately leaked — destroying it at exit
-/// with a still-hung thread inside would std::terminate.
+/// them out. The vector is deliberately immortal — running its
+/// destructor at exit with a still-hung thread inside would
+/// std::terminate — so it lives in a union whose destructor does
+/// nothing (the no-destruct idiom; keeps the project's no-raw-new rule).
 std::mutex g_abandoned_mu;
-std::vector<std::thread>* const g_abandoned = new std::vector<std::thread>;
+
+std::vector<std::thread>& abandoned_threads() {
+  union Holder {
+    std::vector<std::thread> v;
+    Holder() : v() {}
+    ~Holder() {}  // never destroy v
+  };
+  static Holder holder;
+  return holder.v;
+}
 
 void park_abandoned(std::thread th) {
   const std::lock_guard<std::mutex> lock(g_abandoned_mu);
-  g_abandoned->push_back(std::move(th));
+  abandoned_threads().push_back(std::move(th));
 }
 
 // ------------------------------------------------------------- params hash
@@ -87,7 +98,7 @@ void CampaignRunner::join_abandoned_threads() {
     std::vector<std::thread> batch;
     {
       const std::lock_guard<std::mutex> lock(g_abandoned_mu);
-      batch.swap(*g_abandoned);
+      batch.swap(abandoned_threads());
     }
     if (batch.empty()) return;
     for (std::thread& th : batch) th.join();
@@ -193,12 +204,26 @@ core::LinkStats CampaignRunner::run_point(const std::string& point_id,
   const std::size_t n_shards = options_.n_shards;
   const JournalKey key{point_id, params_hash(cfg, n_shards)};
 
+  const bool want_obs = static_cast<bool>(telemetry_sink);
   std::vector<core::LinkStats> slots(n_shards);
+  std::vector<obs::ShardTelemetry> telemetry;
+  if (want_obs) telemetry.resize(n_shards);
+
   std::size_t quarantined = 0;
   std::vector<std::size_t> pending;
   for (std::size_t shard = 0; shard < n_shards; ++shard) {
     if (journal_ != nullptr) {
       if (const core::LinkStats* done = journal_->find_shard(key, shard)) {
+        if (want_obs) {
+          const std::string* blob = journal_->find_shard_obs(key, shard);
+          if (blob == nullptr || !obs::deserialize_telemetry(*blob, telemetry[shard])) {
+            // Journaled before telemetry was requested (or blob is
+            // unreadable): re-run the shard. The replay is deterministic,
+            // so the stats it re-journals are bit-identical.
+            pending.push_back(shard);
+            continue;
+          }
+        }
         slots[shard] = *done;
         continue;
       }
@@ -210,31 +235,32 @@ core::LinkStats CampaignRunner::run_point(const std::string& point_id,
     pending.push_back(shard);
   }
 
+  std::size_t retried = 0;
   if (!pending.empty()) {
     if (interrupt_requested()) {
       if (journal_ != nullptr) journal_->flush();
       throw CampaignInterrupted();
     }
-    std::size_t retried = 0;
+    std::vector<obs::ShardTelemetry>* tele = want_obs ? &telemetry : nullptr;
     if (options_.shard_timeout_s > 0.0) {
-      execute_watchdogged(key, cfg, std::move(pending), slots, retried, quarantined);
+      execute_watchdogged(key, cfg, std::move(pending), slots, tele, retried, quarantined);
     } else {
-      execute_pooled(key, cfg, pending, slots);
+      execute_pooled(key, cfg, pending, slots, tele);
     }
-    core::LinkStats merged = core::merge_link_stats(slots, cfg.payload_len);
-    merged.shard_timeout += quarantined;
-    merged.shard_retried += retried;
-    return merged;
   }
 
-  core::LinkStats merged = core::merge_link_stats(slots, cfg.payload_len);
+  core::LinkStats merged =
+      merge_point_results(slots, want_obs ? &telemetry : nullptr, cfg.payload_len, nullptr);
   merged.shard_timeout += quarantined;
+  merged.shard_retried += retried;
+  if (want_obs) telemetry_sink(point_id, cfg, merged, telemetry);
   return merged;
 }
 
 void CampaignRunner::execute_pooled(const JournalKey& key, const core::SimConfig& cfg,
                                     const std::vector<std::size_t>& pending,
-                                    std::vector<core::LinkStats>& slots) {
+                                    std::vector<core::LinkStats>& slots,
+                                    std::vector<obs::ShardTelemetry>* telemetry) {
   std::vector<std::uint8_t> skipped(pending.size(), 0);
   pool_.parallel_for_shards(pending.size(), [&](std::size_t i) {
     if (interrupt_requested()) {  // drain: in-flight shards finish, new ones don't start
@@ -245,12 +271,21 @@ void CampaignRunner::execute_pooled(const JournalKey& key, const core::SimConfig
     if (shard_hook) shard_hook(shard, 0);
     const auto range =
         ParallelLinkRunner::shard_range(cfg.n_packets, options_.n_shards, shard);
+    const obs::LinkObs o =
+        telemetry != nullptr ? (*telemetry)[shard].obs() : obs::LinkObs{};
     if (range.count != 0) {
       slots[shard] =
           core::run_link_shard(cfg, range.first, range.count,
-                               ParallelLinkRunner::shard_seeds(cfg, shard));
+                               ParallelLinkRunner::shard_seeds(cfg, shard), o);
     }
-    if (journal_ != nullptr) journal_->record_shard(key, shard, slots[shard]);
+    if (journal_ != nullptr) {
+      if (telemetry != nullptr) {
+        const std::string blob = obs::serialize_telemetry((*telemetry)[shard]);
+        journal_->record_shard(key, shard, slots[shard], &blob);
+      } else {
+        journal_->record_shard(key, shard, slots[shard]);
+      }
+    }
   });
   for (const std::uint8_t s : skipped) {
     if (s != 0) {
@@ -263,6 +298,7 @@ void CampaignRunner::execute_pooled(const JournalKey& key, const core::SimConfig
 void CampaignRunner::execute_watchdogged(const JournalKey& key, const core::SimConfig& cfg,
                                          std::vector<std::size_t> pending,
                                          std::vector<core::LinkStats>& slots,
+                                         std::vector<obs::ShardTelemetry>* telemetry,
                                          std::size_t& retried_shards,
                                          std::size_t& quarantined_shards) {
   using clock = std::chrono::steady_clock;
@@ -293,25 +329,34 @@ void CampaignRunner::execute_watchdogged(const JournalKey& key, const core::SimC
       // thread keeps running to completion in the background, but its
       // result is discarded so a genuinely hung shard cannot stall the
       // campaign.
+      // The attempt's result travels by value through the future — a
+      // timed-out attempt's telemetry dies with its abandoned thread
+      // instead of racing a retry writing into a shared slot.
+      struct ShardOutcome {
+        core::LinkStats stats;
+        obs::ShardTelemetry telemetry;
+      };
       struct Flight {
         std::size_t shard = 0;
         std::thread thread;
-        std::future<core::LinkStats> result;
+        std::future<ShardOutcome> result;
       };
       std::vector<Flight> flights;
       flights.reserve(end - start);
       for (std::size_t i = start; i < end; ++i) {
         const std::size_t shard = pending[i];
-        std::packaged_task<core::LinkStats()> task(
-            [cfg, shard, attempt, hook = shard_hook, n_shards = options_.n_shards]() {
+        std::packaged_task<ShardOutcome()> task(
+            [cfg, shard, attempt, hook = shard_hook, n_shards = options_.n_shards,
+             want_obs = telemetry != nullptr]() {
               if (hook) hook(shard, attempt);
               const auto range = ParallelLinkRunner::shard_range(cfg.n_packets, n_shards, shard);
-              core::LinkStats stats;
+              ShardOutcome out;
               if (range.count != 0) {
-                stats = core::run_link_shard(cfg, range.first, range.count,
-                                             ParallelLinkRunner::shard_seeds(cfg, shard));
+                const obs::LinkObs o = want_obs ? out.telemetry.obs() : obs::LinkObs{};
+                out.stats = core::run_link_shard(cfg, range.first, range.count,
+                                                 ParallelLinkRunner::shard_seeds(cfg, shard), o);
               }
-              return stats;
+              return out;
             });
         Flight flight;
         flight.shard = shard;
@@ -324,8 +369,17 @@ void CampaignRunner::execute_watchdogged(const JournalKey& key, const core::SimC
       for (Flight& flight : flights) {
         if (flight.result.wait_until(deadline) == std::future_status::ready) {
           flight.thread.join();
-          slots[flight.shard] = flight.result.get();
-          if (journal_ != nullptr) journal_->record_shard(key, flight.shard, slots[flight.shard]);
+          ShardOutcome out = flight.result.get();
+          slots[flight.shard] = out.stats;
+          if (telemetry != nullptr) (*telemetry)[flight.shard] = std::move(out.telemetry);
+          if (journal_ != nullptr) {
+            if (telemetry != nullptr) {
+              const std::string blob = obs::serialize_telemetry((*telemetry)[flight.shard]);
+              journal_->record_shard(key, flight.shard, slots[flight.shard], &blob);
+            } else {
+              journal_->record_shard(key, flight.shard, slots[flight.shard]);
+            }
+          }
           if (timed_out_before[flight.shard] != 0) ++retried_shards;
         } else {
           park_abandoned(std::move(flight.thread));

@@ -34,6 +34,7 @@
 #include <functional>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "core/link_simulator.hpp"
 #include "runtime/checkpoint_journal.hpp"
@@ -118,14 +119,29 @@ class CampaignRunner {
   /// the watchdog budget simulates a hung shard.
   std::function<void(std::size_t, std::size_t)> shard_hook;
 
+  /// Telemetry consumer. When set, every run_point collects per-shard
+  /// telemetry (metrics + traces) and invokes the sink after the merge —
+  /// including for points satisfied entirely from the journal, whose
+  /// bundles are rebuilt from `O` records. A journaled shard *without* an
+  /// `O` record (it ran before telemetry was requested) is re-run — a
+  /// deterministic replay, so its stats are unchanged. Quarantined shards
+  /// contribute a default bundle at their index, mirroring their
+  /// default-constructed LinkStats. Arguments: (point id, config, merged
+  /// stats, per-shard bundles in ascending shard order).
+  std::function<void(const std::string&, const core::SimConfig&, const core::LinkStats&,
+                     const std::vector<obs::ShardTelemetry>&)>
+      telemetry_sink;
+
  private:
   void execute_pooled(const JournalKey& key, const core::SimConfig& cfg,
                       const std::vector<std::size_t>& pending,
-                      std::vector<core::LinkStats>& slots);
+                      std::vector<core::LinkStats>& slots,
+                      std::vector<obs::ShardTelemetry>* telemetry);
   void execute_watchdogged(const JournalKey& key, const core::SimConfig& cfg,
                            std::vector<std::size_t> pending,
-                           std::vector<core::LinkStats>& slots, std::size_t& retried_shards,
-                           std::size_t& quarantined_shards);
+                           std::vector<core::LinkStats>& slots,
+                           std::vector<obs::ShardTelemetry>* telemetry,
+                           std::size_t& retried_shards, std::size_t& quarantined_shards);
 
   CampaignOptions options_;
   ThreadPool pool_;

@@ -185,6 +185,10 @@ void CheckpointJournal::load_existing(const std::string& figure_id, int schema_v
         core::LinkStats stats;
         if (!parse_stats(body.c_str() + consumed, stats)) break;
         shards_[shard_key({point, hash}, shard)] = stats;
+      } else if (std::sscanf(body.c_str(), "O %191s %" SCNx64 " %zu %n", point, &hash,
+                             &shard, &consumed) == 3) {
+        shard_obs_[shard_key({point, hash}, shard)] =
+            body.substr(static_cast<std::size_t>(consumed));
       } else if (std::size_t attempts = 0;
                  std::sscanf(body.c_str(), "Q %191s %" SCNx64 " %zu %zu", point, &hash,
                              &shard, &attempts) == 4) {
@@ -227,6 +231,13 @@ const core::LinkStats* CheckpointJournal::find_shard(const JournalKey& key,
   return it == shards_.end() ? nullptr : &it->second;
 }
 
+const std::string* CheckpointJournal::find_shard_obs(const JournalKey& key,
+                                                     std::size_t shard) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = shard_obs_.find(shard_key(key, shard));
+  return it == shard_obs_.end() ? nullptr : &it->second;
+}
+
 bool CheckpointJournal::shard_quarantined(const JournalKey& key, std::size_t shard) const {
   const std::lock_guard<std::mutex> lock(mutex_);
   return quarantined_.count(shard_key(key, shard)) != 0;
@@ -248,9 +259,20 @@ void CheckpointJournal::append_line(const std::string& body) {
 }
 
 void CheckpointJournal::record_shard(const JournalKey& key, std::size_t shard,
-                                     const core::LinkStats& stats) {
+                                     const core::LinkStats& stats,
+                                     const std::string* obs_blob) {
   const std::lock_guard<std::mutex> lock(mutex_);
   char prefix[280];
+  if (obs_blob != nullptr) {
+    // Telemetry first: a crash between the two lines leaves an O without
+    // its S, which resume treats as "shard not journaled" and re-runs.
+    BHSS_REQUIRE(obs_blob->find('\n') == std::string::npos,
+                 "CheckpointJournal: telemetry blob must be newline-free");
+    std::snprintf(prefix, sizeof(prefix), "O %s %016" PRIx64 " %zu ", key.point_id.c_str(),
+                  key.params_hash, shard);
+    append_line(prefix + *obs_blob);
+    shard_obs_[shard_key(key, shard)] = *obs_blob;
+  }
   std::snprintf(prefix, sizeof(prefix), "S %s %016" PRIx64 " %zu ", key.point_id.c_str(),
                 key.params_hash, shard);
   append_line(prefix + format_stats(stats));

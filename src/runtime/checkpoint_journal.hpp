@@ -11,13 +11,19 @@
 ///
 ///   bhss-journal v1 schema=<n> figure=<id> git=<sha> crc=XXXX
 ///   S <point> <params-hash> <shard> <LinkStats fields...> crc=XXXX
+///   O <point> <params-hash> <shard> <telemetry blob...> crc=XXXX
 ///   Q <point> <params-hash> <shard> <attempts> crc=XXXX
 ///   P <point> <params-hash> <payload...> crc=XXXX
 ///
 /// `S` journals the bit-exact statistics of one finished simulation shard
 /// (doubles stored as IEEE-754 bit patterns, so replay merges to the same
-/// bits), `Q` quarantines a shard the watchdog gave up on, and `P` stores
-/// the published JSONL record of a completed data point verbatim.
+/// bits), `O` the shard's serialized telemetry when the campaign records
+/// it (written immediately before its `S` line, so a journaled shard with
+/// no blob can only mean telemetry was off), `Q` quarantines a shard the
+/// watchdog gave up on, and `P` stores the published JSONL record of a
+/// completed data point verbatim. Binaries predating the `O` kind treat
+/// such a line as a torn tail; the bench schema_version was bumped
+/// alongside it so mixed-schema resumes are rejected up front.
 ///
 /// Durability contract:
 ///  - The file is *created* by writing the header to `<path>.tmp`,
@@ -91,6 +97,11 @@ class CheckpointJournal {
   [[nodiscard]] const core::LinkStats* find_shard(const JournalKey& key,
                                                   std::size_t shard) const;
 
+  /// Serialized telemetry of a completed shard (`O` record), or nullptr
+  /// when the shard ran without telemetry (or is not journaled).
+  [[nodiscard]] const std::string* find_shard_obs(const JournalKey& key,
+                                                  std::size_t shard) const;
+
   /// True when the shard was quarantined by the watchdog in a previous
   /// run: resume accounts it as `shard_timeout` instead of re-hanging.
   [[nodiscard]] bool shard_quarantined(const JournalKey& key, std::size_t shard) const;
@@ -100,7 +111,12 @@ class CheckpointJournal {
 
   // -- appends (thread-safe, fsync'd before return) --
 
-  void record_shard(const JournalKey& key, std::size_t shard, const core::LinkStats& stats);
+  /// `obs_blob` (optional) is the shard's serialized telemetry
+  /// (obs::serialize_telemetry); when present its `O` line is written
+  /// *before* the `S` line under one lock, so a crash between the two
+  /// leaves a shard that will simply be re-run on resume.
+  void record_shard(const JournalKey& key, std::size_t shard, const core::LinkStats& stats,
+                    const std::string* obs_blob = nullptr);
   void record_quarantine(const JournalKey& key, std::size_t shard, std::size_t attempts);
   /// `payload` must be newline-free; it is stored verbatim (the campaign
   /// stores the final stamped JSONL record so resume republishes the
@@ -126,6 +142,7 @@ class CheckpointJournal {
 
   // Keyed by "<point> <hash-hex> <shard>" / "<point> <hash-hex>".
   std::unordered_map<std::string, core::LinkStats> shards_;
+  std::unordered_map<std::string, std::string> shard_obs_;
   std::unordered_map<std::string, std::size_t> quarantined_;
   std::unordered_map<std::string, std::string> points_;
 };

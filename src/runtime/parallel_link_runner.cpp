@@ -40,14 +40,26 @@ ParallelLinkRunner::ShardRange ParallelLinkRunner::shard_range(std::size_t n_pac
 }
 
 core::LinkStats ParallelLinkRunner::run(const core::SimConfig& cfg) {
+  return run(cfg, nullptr);
+}
+
+core::LinkStats ParallelLinkRunner::run(const core::SimConfig& cfg,
+                                        std::vector<obs::ShardTelemetry>* telemetry) {
   const std::size_t n_shards = options_.n_shards;
   std::vector<core::LinkStats> parts(n_shards);
+  if (telemetry != nullptr) {
+    telemetry->clear();
+    telemetry->resize(n_shards);
+  }
   pool_.parallel_for_shards(n_shards, [&](std::size_t shard) {
     const ShardRange range = shard_range(cfg.n_packets, n_shards, shard);
     if (range.count == 0) return;
-    parts[shard] = core::run_link_shard(cfg, range.first, range.count, shard_seeds(cfg, shard));
+    const obs::LinkObs o =
+        telemetry != nullptr ? (*telemetry)[shard].obs() : obs::LinkObs{};
+    parts[shard] =
+        core::run_link_shard(cfg, range.first, range.count, shard_seeds(cfg, shard), o);
   });
-  return core::merge_link_stats(parts, cfg.payload_len);
+  return merge_point_results(parts, telemetry, cfg.payload_len, nullptr);
 }
 
 double ParallelLinkRunner::min_snr_for_per(const core::SimConfig& cfg, double target_per,
@@ -60,6 +72,19 @@ double ParallelLinkRunner::min_snr_for_per(const core::SimConfig& cfg, double ta
 double ParallelLinkRunner::power_advantage_db(const core::SimConfig& a,
                                               const core::SimConfig& b, double target_per) {
   return min_snr_for_per(b, target_per) - min_snr_for_per(a, target_per);
+}
+
+core::LinkStats merge_point_results(const std::vector<core::LinkStats>& stats,
+                                    const std::vector<obs::ShardTelemetry>* telemetry,
+                                    std::size_t payload_len,
+                                    obs::ShardTelemetry* merged_telemetry) {
+  BHSS_REQUIRE(telemetry == nullptr || telemetry->size() == stats.size(),
+               "merge_point_results: stats and telemetry must cover the same shards");
+  core::LinkStats merged = core::merge_link_stats(stats, payload_len);
+  if (telemetry != nullptr && merged_telemetry != nullptr) {
+    *merged_telemetry = obs::merge_telemetry(*telemetry, stats.size());
+  }
+  return merged;
 }
 
 }  // namespace bhss::runtime

@@ -44,6 +44,16 @@ class ParallelLinkRunner {
   /// are skipped.
   [[nodiscard]] core::LinkStats run(const core::SimConfig& cfg);
 
+  /// Same run, additionally collecting per-shard telemetry. `telemetry`
+  /// (may be null → identical to `run(cfg)`) is resized to `n_shards`
+  /// bundles; shard i writes only into element i, so the collection is
+  /// lock-free by construction and, per the merge-order contract in
+  /// link_simulator.hpp, `obs::merge_telemetry` over the result is a pure
+  /// function of (SimConfig, n_shards). Telemetry never perturbs the
+  /// simulation: the returned stats are bit-identical to `run(cfg)`.
+  [[nodiscard]] core::LinkStats run(const core::SimConfig& cfg,
+                                    std::vector<obs::ShardTelemetry>* telemetry);
+
   /// Paper §6.3 bisection, with every PER probe sharded across the pool.
   [[nodiscard]] double min_snr_for_per(const core::SimConfig& cfg, double target_per = 0.5,
                                        double lo_db = -10.0, double hi_db = 45.0,
@@ -79,5 +89,18 @@ class ParallelLinkRunner {
   RunnerOptions options_;
   ThreadPool pool_;
 };
+
+/// Merge one data point's per-shard results under the shared merge-order
+/// contract (link_simulator.hpp): both vectors are left folds in ascending
+/// shard order, and a quarantined shard contributes a default element at
+/// its index in *both*. BHSS_REQUIREs that `telemetry` (when given) has
+/// exactly `stats.size()` elements — the single enforcement point keeping
+/// the stats merge and the telemetry merge from silently diverging.
+/// `merged_telemetry` (optional) receives the merged bundle when
+/// `telemetry` is non-null.
+[[nodiscard]] core::LinkStats merge_point_results(
+    const std::vector<core::LinkStats>& stats,
+    const std::vector<obs::ShardTelemetry>* telemetry, std::size_t payload_len,
+    obs::ShardTelemetry* merged_telemetry = nullptr);
 
 }  // namespace bhss::runtime

@@ -15,7 +15,9 @@ PreambleSync::PreambleSync(dsp::cvec reference, float threshold)
 }
 
 std::optional<SyncEstimate> PreambleSync::acquire(dsp::cspan x, std::size_t max_lag,
-                                                  std::optional<float> threshold) const {
+                                                  std::optional<float> threshold,
+                                                  obs::TraceSink* trace) const {
+  BHSS_TRACE_SCOPE(trace, obs::TraceScopeId::preamble_acquire);
   if (x.size() < ref_.size()) return std::nullopt;
   const CorrelationPeak peak = correlate_search(x, ref_, max_lag);
   if (peak.normalized < threshold.value_or(threshold_)) return std::nullopt;
@@ -44,7 +46,8 @@ std::optional<SyncEstimate> PreambleSync::acquire(dsp::cspan x, std::size_t max_
 }
 
 SyncEstimate PreambleSync::refine(dsp::cspan x, const SyncEstimate& coarse,
-                                  std::size_t n_blocks) const {
+                                  std::size_t n_blocks, obs::TraceSink* trace) const {
+  BHSS_TRACE_SCOPE(trace, obs::TraceScopeId::preamble_acquire);
   if (n_blocks < 2) return coarse;
   const std::size_t block = ref_.size() / n_blocks;
   if (block < 8 || coarse.frame_start + ref_.size() > x.size()) return coarse;

@@ -10,6 +10,7 @@
 #include <optional>
 
 #include "dsp/types.hpp"
+#include "obs/trace.hpp"
 
 namespace bhss::sync {
 
@@ -40,8 +41,10 @@ class PreambleSync {
   /// @param threshold  optional per-call acceptance threshold override;
   ///                   the receiver's bounded re-acquisition lowers it on
   ///                   retries without rebuilding the synchroniser.
+  /// @param trace      optional sink for the preamble_acquire timing scope
   [[nodiscard]] std::optional<SyncEstimate> acquire(
-      dsp::cspan x, std::size_t max_lag, std::optional<float> threshold = std::nullopt) const;
+      dsp::cspan x, std::size_t max_lag, std::optional<float> threshold = std::nullopt,
+      obs::TraceSink* trace = nullptr) const;
 
   /// Refine a coarse estimate by regressing block-wise data-aided phase
   /// measurements over the whole preamble. The coarse two-half CFO
@@ -52,7 +55,8 @@ class PreambleSync {
   /// the coarse estimate, so no phase unwrapping is needed as long as the
   /// coarse error stays below pi per block.
   [[nodiscard]] SyncEstimate refine(dsp::cspan x, const SyncEstimate& coarse,
-                                    std::size_t n_blocks = 8) const;
+                                    std::size_t n_blocks = 8,
+                                    obs::TraceSink* trace = nullptr) const;
 
   /// Remove the estimated phase and CFO from `x` in place:
   /// x[n] *= exp(-j (phase + cfo * (n - frame_start))).

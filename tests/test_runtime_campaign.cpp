@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "core/link_simulator.hpp"
+#include "obs/link_obs.hpp"
 #include "runtime/campaign.hpp"
 #include "runtime/checkpoint_journal.hpp"
 #include "runtime/parallel_link_runner.hpp"
@@ -344,6 +345,142 @@ TEST(CampaignRunner, KillAndResumeIsBitIdenticalAtOneAndEightThreads) {
   std::remove(path.c_str());
 }
 
+/// Flatten a telemetry_sink invocation into one comparable string:
+/// per-shard serialized bundles in shard order, then the merged bundle.
+/// Byte equality of this snapshot is exactly what the --metrics/--trace
+/// JSONL byte-identity guarantee rests on.
+std::string telemetry_snapshot(const std::vector<obs::ShardTelemetry>& shards) {
+  std::string snap;
+  for (const obs::ShardTelemetry& t : shards) snap += obs::serialize_telemetry(t) + "\n";
+  snap += obs::serialize_telemetry(obs::merge_telemetry(shards, shards.size())) + "\n";
+  return snap;
+}
+
+TEST(CampaignRunner, TelemetryResumeIsBitIdentical) {
+  const core::SimConfig cfg = small_sim();
+  const std::string path = temp_path("telemetry_resume");
+  std::remove(path.c_str());
+
+  // Uninterrupted 1-thread reference with telemetry, journal fresh.
+  std::string expected_snapshot;
+  core::LinkStats expected;
+  {
+    CheckpointJournal journal;
+    journal.open(path, "unit", 2, "abc123", false);
+    CampaignRunner runner({.n_threads = 1, .n_shards = 4}, &journal);
+    runner.telemetry_sink = [&](const std::string&, const core::SimConfig&,
+                                const core::LinkStats&,
+                                const std::vector<obs::ShardTelemetry>& shards) {
+      expected_snapshot = telemetry_snapshot(shards);
+    };
+    expected = runner.run_point("pt", cfg);
+  }
+  ASSERT_FALSE(expected_snapshot.empty());
+  // Each shard journals an O (telemetry) line followed by its S line.
+  ASSERT_EQ(count_lines(path), 9U);  // header + 4 x (O, S)
+
+  // Simulate a SIGKILL that landed between the O and S appends of shard 1:
+  // keep header, shard 0's pair, and shard 1's orphan O record. Resume at 8
+  // threads must replay shard 0, re-run shards 1-3, and reproduce both the
+  // stats and every telemetry byte.
+  truncate_to_lines(path, 4);
+  {
+    CheckpointJournal journal;
+    journal.open(path, "unit", 2, "abc123", true);
+    // 3 records replay: shard 0's O+S pair and shard 1's orphan O. The
+    // orphan carries telemetry but no stats, so shard 1 still re-runs.
+    EXPECT_EQ(journal.replayed_records(), 3U);
+    CampaignRunner resumed({.n_threads = 8, .n_shards = 4}, &journal);
+    std::string snapshot;
+    resumed.telemetry_sink = [&](const std::string&, const core::SimConfig&,
+                                 const core::LinkStats&,
+                                 const std::vector<obs::ShardTelemetry>& shards) {
+      snapshot = telemetry_snapshot(shards);
+    };
+    std::atomic<std::size_t> executed{0};
+    resumed.shard_hook = [&](std::size_t, std::size_t) { ++executed; };
+    expect_identical(resumed.run_point("pt", cfg), expected);
+    EXPECT_EQ(executed.load(), 3U);
+    EXPECT_EQ(snapshot, expected_snapshot);
+  }
+
+  // Fully-journaled resume: zero shards execute, the sink still fires, and
+  // every byte comes back out of the journal's O records unchanged.
+  {
+    CheckpointJournal journal;
+    journal.open(path, "unit", 2, "abc123", true);
+    // 3 surviving records plus the resumed run's 3 re-journaled O+S pairs.
+    EXPECT_EQ(journal.replayed_records(), 9U);
+    CampaignRunner replay({.n_threads = 2, .n_shards = 4}, &journal);
+    std::string snapshot;
+    replay.telemetry_sink = [&](const std::string&, const core::SimConfig&,
+                                const core::LinkStats&,
+                                const std::vector<obs::ShardTelemetry>& shards) {
+      snapshot = telemetry_snapshot(shards);
+    };
+    std::atomic<std::size_t> executed{0};
+    replay.shard_hook = [&](std::size_t, std::size_t) { ++executed; };
+    expect_identical(replay.run_point("pt", cfg), expected);
+    EXPECT_EQ(executed.load(), 0U);
+    EXPECT_EQ(snapshot, expected_snapshot);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CampaignRunner, BlobLessJournalRerunsShardsForTelemetry) {
+  const core::SimConfig cfg = small_sim();
+  const std::string path = temp_path("telemetry_bloblless");
+  std::remove(path.c_str());
+
+  // A pre-telemetry campaign: no sink, so the journal carries only S
+  // records (this is exactly what a v2-era journal upgraded in place looks
+  // like after the schema bump).
+  core::LinkStats expected;
+  {
+    CheckpointJournal journal;
+    journal.open(path, "unit", 2, "abc123", false);
+    CampaignRunner runner({.n_threads = 1, .n_shards = 4}, &journal);
+    expected = runner.run_point("pt", cfg);
+  }
+  ASSERT_EQ(count_lines(path), 5U);  // header + 4 x S, no O records
+
+  // Resuming with a telemetry sink must re-run every shard (stats alone
+  // cannot reconstruct telemetry) yet still produce bit-identical stats.
+  CheckpointJournal journal;
+  journal.open(path, "unit", 2, "abc123", true);
+  EXPECT_EQ(journal.replayed_records(), 4U);
+  CampaignRunner resumed({.n_threads = 1, .n_shards = 4}, &journal);
+  std::string snapshot;
+  resumed.telemetry_sink = [&](const std::string&, const core::SimConfig&,
+                               const core::LinkStats&,
+                               const std::vector<obs::ShardTelemetry>& shards) {
+    snapshot = telemetry_snapshot(shards);
+  };
+  std::atomic<std::size_t> executed{0};
+  resumed.shard_hook = [&](std::size_t, std::size_t) { ++executed; };
+  expect_identical(resumed.run_point("pt", cfg), expected);
+  EXPECT_EQ(executed.load(), 4U);
+  EXPECT_FALSE(snapshot.empty());
+
+  // And the re-run leaves the journal fully populated: a third pass with a
+  // sink replays telemetry from the O records without executing anything.
+  CheckpointJournal full;
+  full.open(path, "unit", 2, "abc123", true);
+  CampaignRunner replay({.n_threads = 1, .n_shards = 4}, &full);
+  std::string replayed;
+  replay.telemetry_sink = [&](const std::string&, const core::SimConfig&,
+                              const core::LinkStats&,
+                              const std::vector<obs::ShardTelemetry>& shards) {
+    replayed = telemetry_snapshot(shards);
+  };
+  executed = 0;
+  replay.shard_hook = [&](std::size_t, std::size_t) { ++executed; };
+  expect_identical(replay.run_point("pt", cfg), expected);
+  EXPECT_EQ(executed.load(), 0U);
+  EXPECT_EQ(replayed, snapshot);
+  std::remove(path.c_str());
+}
+
 TEST(CampaignRunner, BisectionResumesThroughTheJournal) {
   core::SimConfig cfg = small_sim();
   cfg.jammer.kind = core::JammerSpec::Kind::none;
@@ -388,20 +525,36 @@ void hang_until(const std::atomic<bool>& release) {
   while (!release.load()) std::this_thread::sleep_for(std::chrono::milliseconds(25));
 }
 
+/// Watchdog budget that adapts to however slow this build is. A fixed
+/// budget tuned on an optimised build times out *genuine* shards under
+/// -O0 + coverage instrumentation on a loaded single-core runner, turning
+/// the test into a flake; scale it from a measured uninstrumented-watchdog
+/// reference run of the same workload instead.
+double scaled_budget(double reference_seconds) {
+  return std::max(6.0, 4.0 * reference_seconds);
+}
+
+double timed_run(CampaignRunner& runner, const core::SimConfig& cfg,
+                 core::LinkStats* out = nullptr) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const core::LinkStats stats = runner.run_point("pt", cfg);
+  if (out != nullptr) *out = stats;
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
 }  // namespace
 
 TEST(CampaignRunner, WatchdogRetriesAHungShard) {
   core::SimConfig cfg = small_sim();
   cfg.n_packets = 4;  // one packet per shard: far inside the budget everywhere
   CampaignRunner reference({.n_threads = 2, .n_shards = 4});
-  const core::LinkStats expected = reference.run_point("pt", cfg);
+  core::LinkStats expected;
+  const double ref_s = timed_run(reference, cfg, &expected);
 
-  // Budget generous enough that a legitimate one-packet shard never times
-  // out even on an unoptimised or sanitizer build.
   CampaignOptions opts;
   opts.n_threads = 2;
   opts.n_shards = 4;
-  opts.shard_timeout_s = 6.0;
+  opts.shard_timeout_s = scaled_budget(ref_s);
   opts.max_attempts = 3;
   opts.backoff_base_s = 0.01;
   CampaignRunner runner(opts);
@@ -431,10 +584,13 @@ TEST(CampaignRunner, WatchdogQuarantinesAPermanentlyHungShard) {
   const std::string path = temp_path("quarantine");
   std::remove(path.c_str());
 
+  CampaignRunner reference({.n_threads = 4, .n_shards = 4});
+  const double ref_s = timed_run(reference, cfg);
+
   CampaignOptions opts;
   opts.n_threads = 4;
   opts.n_shards = 4;
-  opts.shard_timeout_s = 6.0;
+  opts.shard_timeout_s = scaled_budget(ref_s);
   opts.max_attempts = 2;
   opts.backoff_base_s = 0.01;
 
