@@ -1,0 +1,15 @@
+"""bhss-analyze: AST-grounded determinism & hot-path analyzer.
+
+Package layout:
+  lexer.py           C++ tokenizer shared by the lite frontend and bhss_lint
+  findings.py        unified finding schema, suppressions, baseline handling
+  cpp_model.py       frontend-independent IR (functions, events, call graph)
+  frontend_lite.py   dependency-free token-level frontend (always available)
+  frontend_clang.py  libclang frontend (typed AST; used when python3-clang
+                     and libclang.so are installed, e.g. in CI)
+  checks.py          H1/D1/D2/C1 checks over the IR + call graph
+
+Entry point: scripts/bhss_analyze.py.
+"""
+
+__version__ = "1.0"

@@ -1,0 +1,237 @@
+"""The four AST-grounded checks over the CodeModel call graph.
+
+H1 hot-path-purity    — nothing reachable from a BHSS_HOT root may
+                        allocate, lock, or perform I/O.
+D1 deterministic-fold — merge/fold functions (and their callees) must not
+                        iterate unordered containers or derive values from
+                        addresses; the Monte-Carlo merge contract requires
+                        a reduction order independent of scheduling.
+D2 rng-discipline     — every RNG primitive lives in src/core/shared_random;
+                        std::random_device / raw engines / time()-seeds
+                        anywhere else break replayability.
+C1 contract-coverage  — exported (header-declared) functions taking spans
+                        or pointers must guard them (BHSS_REQUIRE /
+                        size()/empty() check) before the first deref.
+
+All checks walk the *linked* model; call-graph traversal is conservative
+(see cpp_model.resolve_call) so a finding always corresponds to a concrete
+event on a named path, never to a speculative edge.
+"""
+
+from __future__ import annotations
+
+import re
+from collections import deque
+
+from .cpp_model import (
+    EV_ADDR_ORDER,
+    EV_ALLOC,
+    EV_CALL,
+    EV_DEREF,
+    EV_GUARD,
+    EV_IO,
+    EV_MUTEX,
+    EV_RNG,
+    EV_UNORDERED,
+    CodeModel,
+    FunctionInfo,
+)
+from .findings import Finding
+
+CHECK_H1 = "h1-hot-path-purity"
+CHECK_D1 = "d1-deterministic-fold"
+CHECK_D2 = "d2-rng-discipline"
+CHECK_C1 = "c1-contract-coverage"
+
+ALL_CHECKS = (CHECK_H1, CHECK_D1, CHECK_D2, CHECK_C1)
+
+# The contract machinery itself is the cold path: a failed BHSS_REQUIRE
+# formats a message and throws. Never traverse into or report on it.
+CONTRACTS_FILE_SUFFIX = "core/contracts.hpp"
+# RNG primitives live here by design; D2 exempts it, H1/D1 still apply.
+RANDOM_HOME = "core/shared_random"
+
+FOLD_ROOT_RE = re.compile(r"(^|::)(merge_\w+|\w+_fold|merge_point_results)$")
+
+_H1_KINDS = {
+    EV_ALLOC: "allocates",
+    EV_MUTEX: "locks",
+    EV_IO: "performs I/O",
+}
+_D1_KINDS = {
+    EV_UNORDERED: "iterates an unordered container",
+    EV_ADDR_ORDER: "derives a value from an object address",
+}
+
+
+def _is_exempt(fn: FunctionInfo) -> bool:
+    return fn.file.endswith(CONTRACTS_FILE_SUFFIX)
+
+
+def _reach(model: CodeModel, roots: list[FunctionInfo]) -> dict[int, tuple[FunctionInfo, list[str]]]:
+    """BFS over resolved call edges. Returns id(fn) -> (fn, path-of-qnames
+    from the nearest root). BFS order makes the recorded path minimal."""
+    seen: dict[int, tuple[FunctionInfo, list[str]]] = {}
+    dq: deque[FunctionInfo] = deque()
+    for r in roots:
+        if id(r) not in seen:
+            seen[id(r)] = (r, [r.qname])
+            dq.append(r)
+    while dq:
+        fn = seen[id(dq.popleft())][0]
+        path = seen[id(fn)][1]
+        for ev in fn.events:
+            if ev.kind != EV_CALL:
+                continue
+            for callee in model.resolve_call(fn, ev):
+                if _is_exempt(callee) or id(callee) in seen:
+                    continue
+                seen[id(callee)] = (callee, path + [callee.qname])
+                dq.append(callee)
+    return seen
+
+
+def _path_note(path: list[str]) -> str:
+    if len(path) <= 1:
+        return ""
+    return " [via " + " -> ".join(path) + "]"
+
+
+def check_h1(model: CodeModel) -> list[Finding]:
+    roots = [f for f in model.functions if f.hot and f.has_body and not _is_exempt(f)]
+    out: list[Finding] = []
+    for fn, path in _reach(model, roots).values():
+        for ev in fn.events:
+            verb = _H1_KINDS.get(ev.kind)
+            if verb is None:
+                continue
+            out.append(
+                Finding(
+                    check=CHECK_H1,
+                    file=fn.file,
+                    line=ev.line,
+                    function=fn.qname,
+                    message=f"hot path {verb}: {ev.detail}{_path_note(path)}",
+                )
+            )
+    return out
+
+
+def check_d1(model: CodeModel) -> list[Finding]:
+    roots = [
+        f for f in model.functions
+        if f.has_body and not _is_exempt(f) and FOLD_ROOT_RE.search(f.qname)
+    ]
+    out: list[Finding] = []
+    for fn, path in _reach(model, roots).values():
+        for ev in fn.events:
+            what = _D1_KINDS.get(ev.kind)
+            if what is None:
+                continue
+            out.append(
+                Finding(
+                    check=CHECK_D1,
+                    file=fn.file,
+                    line=ev.line,
+                    function=fn.qname,
+                    message=(
+                        f"merge/fold path {what}: {ev.detail}{_path_note(path)} "
+                        "— reduction order must not depend on hashing or addresses"
+                    ),
+                )
+            )
+    return out
+
+
+def check_d2(model: CodeModel) -> list[Finding]:
+    out: list[Finding] = []
+    for fn in model.functions:
+        if RANDOM_HOME in fn.file or _is_exempt(fn):
+            continue
+        for ev in fn.events:
+            if ev.kind != EV_RNG:
+                continue
+            out.append(
+                Finding(
+                    check=CHECK_D2,
+                    file=fn.file,
+                    line=ev.line,
+                    function=fn.qname,
+                    message=(
+                        f"RNG outside core::SharedRandom: {ev.detail} "
+                        "— all draws must flow through src/core/shared_random "
+                        "so runs replay bit-identically"
+                    ),
+                )
+            )
+    for rel, line, kind, detail in model.file_events:
+        if kind != EV_RNG or RANDOM_HOME in rel:
+            continue
+        out.append(
+            Finding(
+                check=CHECK_D2,
+                file=rel,
+                line=line,
+                message=(
+                    f"RNG outside core::SharedRandom: {detail} "
+                    "— all draws must flow through src/core/shared_random"
+                ),
+            )
+        )
+    return out
+
+
+def check_c1(model: CodeModel) -> list[Finding]:
+    out: list[Finding] = []
+    for fn in model.functions:
+        if not fn.has_body or not fn.declared_in_header or _is_exempt(fn):
+            continue
+        # Only exported API of the library tree is in scope.
+        if not (fn.file.startswith("src/") or "fixture" in fn.file or fn.file.startswith("tests/")):
+            continue
+        interesting = {p.name for p in fn.params if (p.is_span or p.is_pointer) and p.name}
+        if not interesting:
+            continue
+        for pname in sorted(interesting):
+            first_deref = None
+            guarded_before = False
+            for ev in fn.events:
+                if ev.param != pname:
+                    continue
+                if ev.kind == EV_GUARD:
+                    guarded_before = first_deref is None
+                    if guarded_before:
+                        break
+                elif ev.kind == EV_DEREF and first_deref is None:
+                    first_deref = ev
+            if first_deref is not None and not guarded_before:
+                out.append(
+                    Finding(
+                        check=CHECK_C1,
+                        file=fn.file,
+                        line=first_deref.line,
+                        function=fn.qname,
+                        message=(
+                            f"span/pointer parameter '{pname}' dereferenced "
+                            f"({first_deref.detail}) before any BHSS_REQUIRE or "
+                            "size()/empty() guard"
+                        ),
+                    )
+                )
+    return out
+
+
+_CHECK_FNS = {
+    CHECK_H1: check_h1,
+    CHECK_D1: check_d1,
+    CHECK_D2: check_d2,
+    CHECK_C1: check_c1,
+}
+
+
+def run_checks(model: CodeModel, checks: tuple[str, ...] = ALL_CHECKS) -> list[Finding]:
+    model.link()
+    out: list[Finding] = []
+    for c in checks:
+        out.extend(_CHECK_FNS[c](model))
+    return out

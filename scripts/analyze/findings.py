@@ -1,0 +1,198 @@
+"""Unified finding schema for all BHSS static-analysis tooling.
+
+Both `bhss_analyze.py` (the AST-grounded checks H1/D1/D2/C1) and
+`bhss_lint.py` (the regex conventions R1-R4) emit findings in this one
+format, share the same inline suppression syntax and can be gated against
+the same committed baseline.
+
+Human format (one line per finding, stable sort):
+    <file>:<line>: [<check>] <message>   (in <function>)
+
+Inline suppression, on the offending line or the line directly above it:
+    // BHSS_ANALYZE_SUPPRESS(<check>): <reason>
+A suppression without a reason is itself a finding — every accepted
+violation must say why it is acceptable.
+
+Baseline file (scripts/analyze_baseline.txt): one fingerprint per line,
+`#` comments allowed. Fingerprints are line-number-free so unrelated edits
+do not churn the baseline. The target state of the baseline is EMPTY:
+prefer fixing, then inline-suppressing with a reason; baselining exists to
+land the tool against a temporarily dirty tree without losing the gate on
+*new* findings.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+SCHEMA_VERSION = 1
+
+SUPPRESS_RE = re.compile(
+    r"//\s*BHSS_ANALYZE_SUPPRESS\(\s*([A-Za-z0-9_,\s-]+?)\s*\)\s*(?::\s*(.*?))?\s*$"
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    check: str
+    file: str  # repo-relative posix path
+    line: int
+    message: str
+    function: str = ""  # qualified function, when attributable
+
+    def fingerprint(self) -> str:
+        # Line numbers excluded: moving code must not churn the baseline.
+        return f"{self.check}|{self.file}|{self.function}|{self.message}"
+
+    def render(self) -> str:
+        where = f"   (in {self.function})" if self.function else ""
+        return f"{self.file}:{self.line}: [{self.check}] {self.message}{where}"
+
+    def sort_key(self) -> tuple:
+        return (self.file, self.line, self.check, self.message)
+
+    def to_json(self) -> dict:
+        return {
+            "check": self.check,
+            "file": self.file,
+            "line": self.line,
+            "function": self.function,
+            "message": self.message,
+        }
+
+
+@dataclass
+class Suppression:
+    checks: tuple[str, ...]
+    reason: str
+    line: int
+    used: bool = False
+
+
+def scan_suppressions(text: str) -> list[Suppression]:
+    """Collect BHSS_ANALYZE_SUPPRESS comments from raw file text."""
+    out: list[Suppression] = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        m = SUPPRESS_RE.search(line)
+        if m:
+            checks = tuple(c.strip() for c in m.group(1).split(",") if c.strip())
+            out.append(Suppression(checks, (m.group(2) or "").strip(), lineno))
+    return out
+
+
+@dataclass
+class SuppressionIndex:
+    """Per-file suppression lookup. A suppression covers its own line and
+    the line immediately below it (comment-above style)."""
+
+    by_file: dict[str, list[Suppression]] = field(default_factory=dict)
+
+    def add_file(self, rel: str, text: str) -> None:
+        sups = scan_suppressions(text)
+        if sups:
+            self.by_file[rel] = sups
+
+    def match(self, f: Finding) -> Suppression | None:
+        for sup in self.by_file.get(f.file, ()):
+            if f.line in (sup.line, sup.line + 1) and f.check in sup.checks:
+                sup.used = True
+                return sup
+        return None
+
+    def missing_reason_findings(self, checks: tuple[str, ...] | None = None) -> list[Finding]:
+        """Reason-less suppressions as findings. With `checks`, only police
+        suppressions that name at least one of those checks (each tool
+        polices its own rule namespace)."""
+        out = []
+        for rel, sups in self.by_file.items():
+            for sup in sups:
+                if checks is not None and not any(c in checks for c in sup.checks):
+                    continue
+                if not sup.reason:
+                    out.append(
+                        Finding(
+                            check="suppression-missing-reason",
+                            file=rel,
+                            line=sup.line,
+                            message=(
+                                "BHSS_ANALYZE_SUPPRESS("
+                                + ",".join(sup.checks)
+                                + ") must carry a reason: "
+                                "'// BHSS_ANALYZE_SUPPRESS(check): why'"
+                            ),
+                        )
+                    )
+        return out
+
+
+def apply_suppressions(
+    findings: list[Finding], index: SuppressionIndex
+) -> tuple[list[Finding], list[Finding]]:
+    """Split findings into (active, suppressed)."""
+    active: list[Finding] = []
+    suppressed: list[Finding] = []
+    for f in findings:
+        (suppressed if index.match(f) else active).append(f)
+    return active, suppressed
+
+
+def load_baseline(path: Path) -> set[str]:
+    if not path.exists():
+        return set()
+    out: set[str] = set()
+    for raw in path.read_text(encoding="utf-8").splitlines():
+        line = raw.strip()
+        if line and not line.startswith("#"):
+            out.add(line)
+    return out
+
+
+def write_baseline(path: Path, findings: list[Finding]) -> None:
+    lines = [
+        "# bhss-analyze baseline. One fingerprint per accepted pre-existing",
+        "# finding: check|file|function|message. Target state: EMPTY.",
+        "# Prefer fixing, or an inline '// BHSS_ANALYZE_SUPPRESS(check): reason'.",
+    ]
+    lines += sorted({f.fingerprint() for f in findings})
+    path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+
+def render_report(
+    findings: list[Finding],
+    suppressed: list[Finding],
+    baselined: list[Finding],
+    files_scanned: int,
+    frontend: str,
+    tool: str,
+) -> str:
+    lines = [f.render() for f in sorted(findings, key=Finding.sort_key)]
+    n = len(findings)
+    lines.append(
+        f"{tool}: {files_scanned} files, frontend={frontend}: "
+        f"{n} finding{'s' if n != 1 else ''}"
+        f" ({len(suppressed)} suppressed, {len(baselined)} baselined)."
+    )
+    return "\n".join(lines)
+
+
+def render_json(
+    findings: list[Finding],
+    suppressed: list[Finding],
+    baselined: list[Finding],
+    files_scanned: int,
+    frontend: str,
+    tool: str,
+) -> str:
+    doc = {
+        "schema_version": SCHEMA_VERSION,
+        "tool": tool,
+        "frontend": frontend,
+        "files_scanned": files_scanned,
+        "findings": [f.to_json() for f in sorted(findings, key=Finding.sort_key)],
+        "suppressed": [f.to_json() for f in sorted(suppressed, key=Finding.sort_key)],
+        "baselined": [f.to_json() for f in sorted(baselined, key=Finding.sort_key)],
+    }
+    return json.dumps(doc, indent=2, sort_keys=True)

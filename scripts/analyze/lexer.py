@@ -1,0 +1,199 @@
+"""Minimal C++ tokenizer for the lite analyzer frontend and bhss_lint.
+
+Produces a flat token stream with line numbers. This is not a full lexer:
+its contract is to be exactly good enough for the structural analysis the
+lite frontend performs — comments and string/char literals never leak into
+the token stream, preprocessor directives are dropped whole, and the
+multi-character operators that matter for scope/call parsing (`::`, `->`)
+come out as single tokens.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+# Token kinds: 'id' identifier/keyword, 'num' numeric literal,
+# 'str' string literal (text is the placeholder '""'), 'chr' char literal,
+# 'p' punctuation/operator.
+KIND_ID = "id"
+KIND_NUM = "num"
+KIND_STR = "str"
+KIND_CHR = "chr"
+KIND_PUNCT = "p"
+
+
+@dataclass(frozen=True)
+class Tok:
+    kind: str
+    text: str
+    line: int
+
+    def __repr__(self) -> str:  # compact debugging aid
+        return f"{self.text}@{self.line}"
+
+
+def _id_start(ch: str) -> bool:
+    return ch.isalpha() or ch == "_"
+
+
+def _id_char(ch: str) -> bool:
+    return ch.isalnum() or ch == "_"
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blank out comments and string/char literals, preserving line numbers.
+
+    Kept API-compatible with the original bhss_lint helper so regex-based
+    rules keep operating on physical lines.
+    """
+    out: list[str] = []
+    i, n = 0, len(text)
+    while i < n:
+        ch = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if ch == "/" and nxt == "/":
+            end = text.find("\n", i)
+            i = n if end == -1 else end
+        elif ch == "/" and nxt == "*":
+            end = text.find("*/", i + 2)
+            seg = text[i : n if end == -1 else end + 2]
+            out.append("\n" * seg.count("\n"))
+            i = n if end == -1 else end + 2
+        elif ch in ('"', "'"):
+            j = i + 1
+            while j < n and text[j] != ch:
+                j += 2 if text[j] == "\\" else 1
+            i = min(j + 1, n)
+            out.append(" ")
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+def tokenize(text: str) -> list[Tok]:
+    """Tokenize C++ source. Comments, literals' contents and preprocessor
+    directives are consumed; everything else becomes a token."""
+    toks: list[Tok] = []
+    i, n = 0, len(text)
+    line = 1
+    at_line_start = True
+    while i < n:
+        ch = text[i]
+        if ch == "\n":
+            line += 1
+            i += 1
+            at_line_start = True
+            continue
+        if ch in " \t\r\f\v":
+            i += 1
+            continue
+        nxt = text[i + 1] if i + 1 < n else ""
+        # Preprocessor directive: swallow to end of line, honouring
+        # backslash continuations.
+        if ch == "#" and at_line_start:
+            while i < n:
+                if text[i] == "\n":
+                    if text[i - 1] == "\\":
+                        line += 1
+                        i += 1
+                        continue
+                    break
+                i += 1
+            continue
+        at_line_start = False
+        # Comments.
+        if ch == "/" and nxt == "/":
+            end = text.find("\n", i)
+            i = n if end == -1 else end
+            continue
+        if ch == "/" and nxt == "*":
+            end = text.find("*/", i + 2)
+            seg_end = n if end == -1 else end + 2
+            line += text.count("\n", i, seg_end)
+            i = seg_end
+            continue
+        # Raw string literal R"delim( ... )delim".
+        if ch == "R" and nxt == '"':
+            close = text.find("(", i + 2)
+            if close != -1 and close - (i + 2) <= 16:
+                delim = text[i + 2 : close]
+                endmark = ")" + delim + '"'
+                end = text.find(endmark, close + 1)
+                seg_end = n if end == -1 else end + len(endmark)
+                line += text.count("\n", i, seg_end)
+                toks.append(Tok(KIND_STR, '""', line))
+                i = seg_end
+                continue
+        # String / char literals (with optional encoding prefixes handled
+        # by falling through from the identifier branch below).
+        if ch == '"' or ch == "'":
+            start_line = line
+            j = i + 1
+            while j < n and text[j] != ch:
+                if text[j] == "\\":
+                    j += 2
+                else:
+                    if text[j] == "\n":
+                        line += 1
+                    j += 1
+            i = min(j + 1, n)
+            toks.append(Tok(KIND_STR if ch == '"' else KIND_CHR,
+                            '""' if ch == '"' else "''", start_line))
+            continue
+        # Identifiers / keywords.
+        if _id_start(ch):
+            j = i + 1
+            while j < n and _id_char(text[j]):
+                j += 1
+            word = text[i:j]
+            # Encoding-prefixed literal, e.g. u8"...", L'x'.
+            if j < n and text[j] in "\"'" and word in ("u8", "u", "U", "L"):
+                i = j
+                continue
+            toks.append(Tok(KIND_ID, word, line))
+            i = j
+            continue
+        # Numbers (good enough: digits, hex, separators, exponents, suffixes).
+        if ch.isdigit() or (ch == "." and nxt.isdigit()):
+            j = i + 1
+            while j < n and (text[j].isalnum() or text[j] in "._'+-"):
+                if text[j] in "+-" and text[j - 1] not in "eEpP":
+                    break
+                j += 1
+            toks.append(Tok(KIND_NUM, text[i:j], line))
+            i = j
+            continue
+        # Multi-char operators we care about structurally.
+        if ch == ":" and nxt == ":":
+            toks.append(Tok(KIND_PUNCT, "::", line))
+            i += 2
+            continue
+        if ch == "-" and nxt == ">":
+            toks.append(Tok(KIND_PUNCT, "->", line))
+            i += 2
+            continue
+        toks.append(Tok(KIND_PUNCT, ch, line))
+        i += 1
+    return toks
+
+
+def match_group(toks: list[Tok], open_index: int) -> int:
+    """Index of the token closing the bracket at `open_index`.
+
+    Balances (), {} and [] jointly; returns len(toks) - 1 when unbalanced
+    so callers always get a valid index.
+    """
+    pairs = {"(": ")", "{": "}", "[": "]"}
+    opener = toks[open_index].text
+    closer = pairs[opener]
+    depth = 0
+    for j in range(open_index, len(toks)):
+        t = toks[j].text
+        if t == opener:
+            depth += 1
+        elif t == closer:
+            depth -= 1
+            if depth == 0:
+                return j
+    return len(toks) - 1

@@ -1,0 +1,249 @@
+#!/usr/bin/env python3
+"""bhss-analyze: AST-grounded determinism & hot-path analyzer.
+
+Builds a call graph of the BHSS library tree and enforces:
+
+  h1-hot-path-purity     nothing reachable from a BHSS_HOT root allocates,
+                         locks a mutex, or performs I/O
+  d1-deterministic-fold  merge/fold functions never iterate unordered
+                         containers or depend on object addresses
+  d2-rng-discipline      every RNG primitive lives in src/core/shared_random
+  c1-contract-coverage   exported span/pointer-taking functions guard their
+                         arguments (BHSS_REQUIRE / size()/empty()) before
+                         the first dereference
+
+Frontends: `--frontend=clang` uses libclang over compile_commands.json
+entries (typed AST); `--frontend=lite` uses the bundled token-level
+frontend (no dependencies); `auto` (default) prefers clang when the
+bindings import, else lite. Both lower into the same IR and run the same
+checks, so findings are comparable across environments.
+
+Exit codes: 0 clean (or all findings baselined/suppressed), 1 findings,
+2 usage/configuration error.
+
+Examples:
+  scripts/bhss_analyze.py --compile-db build/compile_commands.json
+  scripts/bhss_analyze.py --paths tests/analyze_fixtures/h1_bad.cpp --json
+  scripts/bhss_analyze.py --compile-db build/compile_commands.json \
+      --write-baseline scripts/analyze_baseline.txt
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from analyze import checks as checks_mod  # noqa: E402
+from analyze import findings as findings_mod  # noqa: E402
+from analyze import frontend_lite  # noqa: E402
+from analyze.cpp_model import CodeModel  # noqa: E402
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_BASELINE = REPO_ROOT / "scripts" / "analyze_baseline.txt"
+SOURCE_SUFFIXES = (".cpp", ".cc", ".cxx")
+HEADER_SUFFIXES = (".hpp", ".h", ".hh", ".hxx")
+
+
+def _rel(p: Path) -> str:
+    try:
+        return p.resolve().relative_to(REPO_ROOT).as_posix()
+    except ValueError:
+        return p.as_posix()
+
+
+def _files_from_compile_db(db_path: Path, scope: str) -> list[tuple[Path, list[str]]]:
+    """(source file, compile args) pairs for repo sources under `scope`."""
+    try:
+        entries = json.loads(db_path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"bhss-analyze: cannot read compile db {db_path}: {e}", file=sys.stderr)
+        raise SystemExit(2)
+    out: list[tuple[Path, list[str]]] = []
+    seen: set[str] = set()
+    for ent in entries:
+        f = Path(ent.get("file", ""))
+        if not f.is_absolute():
+            f = Path(ent.get("directory", ".")) / f
+        rel = _rel(f)
+        if rel in seen or not rel.startswith(scope) or f.suffix not in SOURCE_SUFFIXES:
+            continue
+        if not f.exists():
+            continue
+        seen.add(rel)
+        if "arguments" in ent:
+            args = [a for a in ent["arguments"][1:] if a != str(f)]
+        else:
+            args = ent.get("command", "").split()[1:]
+            args = [a for a in args if a != str(f)]
+        out.append((f, args))
+    return sorted(out, key=lambda t: _rel(t[0]))
+
+
+def _headers_under(scope: str) -> list[Path]:
+    root = REPO_ROOT / scope
+    if not root.is_dir():
+        return []
+    return sorted(p for p in root.rglob("*") if p.suffix in HEADER_SUFFIXES)
+
+
+def _pick_frontend(requested: str, verbose: bool) -> str:
+    if requested == "lite":
+        return "lite"
+    try:
+        from analyze import frontend_clang
+
+        if frontend_clang.available():
+            return "clang"
+        if requested == "clang":
+            print("bhss-analyze: --frontend=clang requested but libclang is "
+                  "not usable (install python3-clang + libclang)", file=sys.stderr)
+            raise SystemExit(2)
+    except ImportError:
+        if requested == "clang":
+            print("bhss-analyze: clang frontend not importable", file=sys.stderr)
+            raise SystemExit(2)
+    if verbose and requested == "auto":
+        print("bhss-analyze: libclang unavailable, using lite frontend",
+              file=sys.stderr)
+    return "lite"
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(
+        prog="bhss_analyze.py",
+        description="AST-grounded determinism & hot-path analyzer for BHSS",
+    )
+    ap.add_argument("--compile-db", type=Path,
+                    help="compile_commands.json driving the file list")
+    ap.add_argument("--paths", nargs="+", type=Path,
+                    help="analyze these files/directories instead of the db")
+    ap.add_argument("--scope", default="src/",
+                    help="repo-relative prefix filter for db entries (default: src/)")
+    ap.add_argument("--checks", default=",".join(checks_mod.ALL_CHECKS),
+                    help="comma-separated subset of checks to run")
+    ap.add_argument("--frontend", choices=("auto", "lite", "clang"), default="auto")
+    ap.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE,
+                    help="baseline fingerprint file (default: scripts/analyze_baseline.txt)")
+    ap.add_argument("--no-baseline", action="store_true",
+                    help="ignore the baseline file entirely")
+    ap.add_argument("--write-baseline", type=Path, metavar="PATH",
+                    help="write current findings as the new baseline and exit 0")
+    ap.add_argument("--json", action="store_true", help="emit a JSON report")
+    ap.add_argument("-v", "--verbose", action="store_true")
+    args = ap.parse_args(argv)
+
+    selected = tuple(c.strip() for c in args.checks.split(",") if c.strip())
+    unknown = [c for c in selected if c not in checks_mod.ALL_CHECKS]
+    if unknown:
+        print(f"bhss-analyze: unknown checks: {', '.join(unknown)} "
+              f"(known: {', '.join(checks_mod.ALL_CHECKS)})", file=sys.stderr)
+        return 2
+
+    # ---- collect files ----------------------------------------------------
+    sources: list[tuple[Path, list[str]]] = []
+    headers: list[Path] = []
+    if args.paths:
+        for p in args.paths:
+            if p.is_dir():
+                for q in sorted(p.rglob("*")):
+                    if q.suffix in SOURCE_SUFFIXES:
+                        sources.append((q, []))
+                    elif q.suffix in HEADER_SUFFIXES:
+                        headers.append(q)
+            elif p.suffix in SOURCE_SUFFIXES:
+                sources.append((p, []))
+            elif p.suffix in HEADER_SUFFIXES:
+                headers.append(p)
+            else:
+                print(f"bhss-analyze: skipping {p} (not C++)", file=sys.stderr)
+        if not sources and not headers:
+            print("bhss-analyze: no C++ files in --paths", file=sys.stderr)
+            return 2
+    elif args.compile_db:
+        sources = _files_from_compile_db(args.compile_db, args.scope)
+        headers = _headers_under(args.scope.rstrip("/"))
+        if not sources:
+            print(f"bhss-analyze: no entries under '{args.scope}' in "
+                  f"{args.compile_db}", file=sys.stderr)
+            return 2
+    else:
+        print("bhss-analyze: need --compile-db or --paths "
+              "(hint: cmake -B build -S . writes build/compile_commands.json)",
+              file=sys.stderr)
+        return 2
+
+    frontend = _pick_frontend(args.frontend, args.verbose)
+
+    # ---- parse ------------------------------------------------------------
+    model = CodeModel()
+    sup_index = findings_mod.SuppressionIndex()
+    scanned = 0
+
+    def scan_suppressions(path: Path, rel: str) -> None:
+        try:
+            sup_index.add_file(rel, path.read_text(encoding="utf-8", errors="replace"))
+        except OSError:
+            pass
+
+    if frontend == "clang":
+        from analyze import frontend_clang
+
+        for path, cargs in sources:
+            rel = _rel(path)
+            frontend_clang.parse_tu(model, path, rel, cargs, REPO_ROOT)
+            scan_suppressions(path, rel)
+            scanned += 1
+    else:
+        for path, _cargs in sources:
+            rel = _rel(path)
+            frontend_lite.parse_file(model, path, rel)
+            scan_suppressions(path, rel)
+            scanned += 1
+    # Headers: inline definitions, BHSS_HOT-annotated declarations and
+    # member types live here. The lite lowering also backs the clang run
+    # (libclang lowers TU-reachable header code; lite adds decl-site
+    # annotation merging either way).
+    for path in headers:
+        rel = _rel(path)
+        frontend_lite.parse_file(model, path, rel)
+        scan_suppressions(path, rel)
+        scanned += 1
+
+    # ---- check ------------------------------------------------------------
+    all_findings = checks_mod.run_checks(model, selected)
+
+    if args.verbose:
+        nbody = sum(1 for f in model.functions if f.has_body)
+        nhot = sum(1 for f in model.functions if f.hot)
+        print(f"bhss-analyze: {scanned} files, {len(model.functions)} functions "
+              f"({nbody} with bodies, {nhot} hot)", file=sys.stderr)
+
+    active, suppressed = findings_mod.apply_suppressions(all_findings, sup_index)
+    active.extend(sup_index.missing_reason_findings(
+        checks_mod.ALL_CHECKS + ("suppression-missing-reason",)))
+
+    if args.write_baseline:
+        findings_mod.write_baseline(args.write_baseline, active)
+        print(f"bhss-analyze: wrote {len(active)} fingerprints to "
+              f"{args.write_baseline}")
+        return 0
+
+    baselined: list[findings_mod.Finding] = []
+    if not args.no_baseline:
+        known = findings_mod.load_baseline(args.baseline)
+        still_active = []
+        for f in active:
+            (baselined if f.fingerprint() in known else still_active).append(f)
+        active = still_active
+
+    render = findings_mod.render_json if args.json else findings_mod.render_report
+    print(render(active, suppressed, baselined, scanned, frontend, "bhss-analyze"))
+    return 1 if active else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

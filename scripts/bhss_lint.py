@@ -1,9 +1,9 @@
 #!/usr/bin/env python3
 """Project-specific lint rules for the BHSS codebase.
 
-clang-tidy covers generic C++ defects; this script enforces the conventions
-that keep the sample path fast and reproducible and that no off-the-shelf
-check knows about:
+clang-tidy covers generic C++ defects and scripts/bhss_analyze.py covers
+the call-graph-level determinism/hot-path contracts; this script enforces
+the line-level conventions that keep the sample path fast and reproducible:
 
   R1  sample-path-double   Sample buffers are single-precision (float / cf,
                            see src/dsp/types.hpp). A double-typed buffer in a
@@ -17,14 +17,22 @@ check knows about:
                            every run is reproducible from a single seed.
                            rand() and ad-hoc std::random_device elsewhere
                            break that.
-  R3  raw-allocation       No raw new / malloc / free: buffers are
+  R3  raw-allocation       No raw heap new / malloc / free: buffers are
                            std::vector / std::array, ownership is RAII.
+                           Token-aware: placement-new into existing storage
+                           (`new (buf) T`, the no-destruct immortal-static
+                           idiom) is NOT a heap allocation and is not
+                           flagged; `new (std::nothrow) T` IS.
   R4  vector-ref-param     Public DSP APIs take cspan / fspan (see
                            src/dsp/types.hpp), not const std::vector&, so
                            callers can pass sub-ranges without copying.
 
-Usage:  scripts/bhss_lint.py [paths...]     (default: src bench examples)
-Exit:   0 clean, 1 violations found.
+Findings use the shared bhss-analyze schema (scripts/analyze/findings.py):
+same rendering, same `// BHSS_ANALYZE_SUPPRESS(rule): reason` inline
+suppressions (a reason is mandatory), same JSON document under --json.
+
+Usage:  scripts/bhss_lint.py [--json] [paths...]   (default: src bench examples)
+Exit:   0 clean, 1 violations found, 2 bad invocation.
 """
 
 from __future__ import annotations
@@ -32,6 +40,14 @@ from __future__ import annotations
 import re
 import sys
 from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from analyze import findings as findings_mod  # noqa: E402
+from analyze import lexer  # noqa: E402
+
+# Re-exported for compatibility: earlier revisions defined this helper here.
+strip_comments_and_strings = lexer.strip_comments_and_strings
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 DEFAULT_PATHS = ["src", "bench", "examples"]
@@ -49,36 +65,9 @@ DOUBLE_BUFFER = re.compile(
 )
 RAND_CALL = re.compile(r"(?<![\w:])(?:std::)?rand\s*\(\s*\)")
 RANDOM_DEVICE = re.compile(r"std::random_device")
-RAW_NEW = re.compile(r"(?<![\w:])new\s+[A-Za-z_:][\w:<>,\s]*[\[(;]?")
-MALLOC_FREE = re.compile(r"(?<![\w:.])(?:std::)?(?:malloc|calloc|realloc|free)\s*\(")
 VECTOR_REF_PARAM = re.compile(r"const\s+std::vector<[^>]+>\s*&\s*\w+\s*[,)]")
 
-
-def strip_comments_and_strings(text: str) -> str:
-    """Blank out comments and string/char literals, preserving line numbers."""
-    out: list[str] = []
-    i, n = 0, len(text)
-    while i < n:
-        ch = text[i]
-        nxt = text[i + 1] if i + 1 < n else ""
-        if ch == "/" and nxt == "/":
-            end = text.find("\n", i)
-            i = n if end == -1 else end
-        elif ch == "/" and nxt == "*":
-            end = text.find("*/", i + 2)
-            seg = text[i : n if end == -1 else end + 2]
-            out.append("\n" * seg.count("\n"))
-            i = n if end == -1 else end + 2
-        elif ch in ('"', "'"):
-            j = i + 1
-            while j < n and text[j] != ch:
-                j += 2 if text[j] == "\\" else 1
-            i = min(j + 1, n)
-            out.append(" ")
-        else:
-            out.append(ch)
-            i += 1
-    return "".join(out)
+MALLOC_FAMILY = {"malloc", "calloc", "realloc", "free", "aligned_alloc"}
 
 
 def relpath(path: Path) -> str:
@@ -92,41 +81,95 @@ def in_sample_path(rel: str) -> bool:
     return any(rel.startswith(d + "/") for d in SAMPLE_PATH_DIRS)
 
 
-def lint_file(path: Path) -> list[tuple[str, int, str, str]]:
+def find_raw_allocations(toks: list[lexer.Tok]) -> list[tuple[int, str]]:
+    """(line, message) pairs for R3, resolved on the token stream.
+
+    `new` is a heap allocation unless it is a placement-new (parenthesised
+    address argument) — but `new (std::nothrow) T` keeps its nothrow
+    argument in the same position and DOES allocate, so the group is
+    inspected rather than pattern-matched away.
+    """
+    out: list[tuple[int, str]] = []
+    n = len(toks)
+    for i, t in enumerate(toks):
+        if t.kind != lexer.KIND_ID:
+            continue
+        prev = toks[i - 1].text if i > 0 else ""
+        nxt = toks[i + 1].text if i + 1 < n else ""
+        if t.text == "new":
+            if prev == "operator":
+                continue  # an operator-new declaration, not an allocation
+            if nxt == "(":
+                close = lexer.match_group(toks, i + 1)
+                group = {x.text for x in toks[i + 1 : close]}
+                if "nothrow" in group:
+                    out.append((t.line,
+                                "raw heap new (std::nothrow) is banned; use "
+                                "std::vector / std::make_unique"))
+                # Plain placement-new constructs into existing storage —
+                # no heap allocation, not R3's business.
+                continue
+            out.append((t.line,
+                        "raw new is banned; use std::vector / std::make_unique"))
+        elif t.text in MALLOC_FAMILY and nxt == "(":
+            if prev in (".", "->"):
+                continue  # a member named free()/realloc() is not libc's
+            if prev == "::" and i >= 2 and toks[i - 2].text != "std":
+                continue  # some_arena::free(...)
+            if (i > 0 and toks[i - 1].kind == lexer.KIND_ID
+                    and prev not in ("return", "co_return", "throw", "else", "do")):
+                continue  # `void free(...)` — a declaration, not a call
+            out.append((t.line, f"{t.text}() is banned; use std::vector"))
+    return out
+
+
+def lint_file(path: Path) -> list[findings_mod.Finding]:
     rel = relpath(path)
-    text = strip_comments_and_strings(path.read_text(encoding="utf-8"))
-    findings = []
+    raw = path.read_text(encoding="utf-8")
+    text = strip_comments_and_strings(raw)
+    found: list[findings_mod.Finding] = []
+
+    def add(lineno: int, rule: str, msg: str) -> None:
+        found.append(findings_mod.Finding(check=rule, file=rel, line=lineno,
+                                          message=msg))
 
     for lineno, line in enumerate(text.splitlines(), start=1):
         if RAND_CALL.search(line):
-            findings.append((rel, lineno, "unmanaged-random",
-                             "rand() is banned; use core/shared_random"))
+            add(lineno, "unmanaged-random",
+                "rand() is banned; use core/shared_random")
         if RANDOM_DEVICE.search(line) and RANDOM_HOME not in rel:
-            findings.append((rel, lineno, "unmanaged-random",
-                             "std::random_device outside core/shared_random "
-                             "breaks seed reproducibility"))
-        if MALLOC_FREE.search(line):
-            findings.append((rel, lineno, "raw-allocation",
-                             "malloc/free are banned; use std::vector"))
-        if RAW_NEW.search(line):
-            findings.append((rel, lineno, "raw-allocation",
-                             "raw new is banned; use std::vector / "
-                             "std::make_unique"))
+            add(lineno, "unmanaged-random",
+                "std::random_device outside core/shared_random "
+                "breaks seed reproducibility")
         if in_sample_path(rel) and path.suffix == ".hpp":
             if DOUBLE_BUFFER.search(line):
-                findings.append((rel, lineno, "sample-path-double",
-                                 "double-typed buffer in sample-path "
-                                 "signature; use float/cf buffers per "
-                                 "dsp/types.hpp"))
+                add(lineno, "sample-path-double",
+                    "double-typed buffer in sample-path signature; "
+                    "use float/cf buffers per dsp/types.hpp")
             if VECTOR_REF_PARAM.search(line):
-                findings.append((rel, lineno, "vector-ref-param",
-                                 "public DSP API should take cspan/fspan, "
-                                 "not const std::vector&"))
-    return findings
+                add(lineno, "vector-ref-param",
+                    "public DSP API should take cspan/fspan, "
+                    "not const std::vector&")
+
+    for lineno, msg in find_raw_allocations(lexer.tokenize(raw)):
+        add(lineno, "raw-allocation", msg)
+
+    return found
 
 
 def main(argv: list[str]) -> int:
-    roots = [REPO_ROOT / p for p in (argv or DEFAULT_PATHS)]
+    as_json = False
+    paths: list[str] = []
+    for a in argv:
+        if a == "--json":
+            as_json = True
+        elif a.startswith("-"):
+            print(f"bhss_lint: error: unknown option {a}", file=sys.stderr)
+            return 2
+        else:
+            paths.append(a)
+
+    roots = [REPO_ROOT / p for p in (paths or DEFAULT_PATHS)]
     files: list[Path] = []
     for root in roots:
         if not root.exists():
@@ -140,17 +183,22 @@ def main(argv: list[str]) -> int:
             files.extend(sorted(root.rglob("*.hpp")))
             files.extend(sorted(root.rglob("*.cpp")))
 
-    all_findings = []
+    all_findings: list[findings_mod.Finding] = []
+    sup_index = findings_mod.SuppressionIndex()
     for f in files:
         all_findings.extend(lint_file(f))
+        sup_index.add_file(relpath(f), f.read_text(encoding="utf-8"))
 
-    for rel, lineno, rule, msg in sorted(all_findings):
-        print(f"{rel}:{lineno}: [{rule}] {msg}")
+    active, suppressed = findings_mod.apply_suppressions(all_findings, sup_index)
+    # Only police suppressions naming our rules; the analyzer's checks are
+    # policed by bhss_analyze.py over its own (wider) file set.
+    active.extend(sup_index.missing_reason_findings(
+        ("sample-path-double", "unmanaged-random", "raw-allocation",
+         "vector-ref-param")))
 
-    n = len(all_findings)
-    print(f"bhss_lint: {len(files)} files checked, "
-          f"{n} violation{'s' if n != 1 else ''}.")
-    return 1 if all_findings else 0
+    render = findings_mod.render_json if as_json else findings_mod.render_report
+    print(render(active, suppressed, [], len(files), "lines+tokens", "bhss_lint"))
+    return 1 if active else 0
 
 
 if __name__ == "__main__":

@@ -135,3 +135,23 @@ inline void contract_fail(const char* kind, const char* condition, const char* m
 #else
 #define BHSS_DEBUG_ASSERT(cond, msg) static_cast<void>(0)
 #endif
+
+/// Marks a function as being on the per-sample hot path of the receiver
+/// chain (sample generation -> filtering -> sync -> despreading and the
+/// Monte-Carlo inner loop driving them). `scripts/bhss_analyze.py`
+/// (check h1-hot-path-purity) walks the call graph from every BHSS_HOT
+/// root and rejects allocation, mutex locking and I/O anywhere reachable:
+/// those operations turn O(1)-per-sample code into latency cliffs and
+/// make shard timing (and with it thread-scheduling) load-dependent.
+///
+/// Under clang the marker is also a real AST attribute so the libclang
+/// frontend (and any attribute-aware tooling) can see it; under other
+/// compilers it compiles away entirely. Place it on the declaration,
+/// before the return type:
+///
+///   BHSS_HOT cf process(cf in) noexcept;
+#if defined(__clang__)
+#define BHSS_HOT [[clang::annotate("bhss_hot")]]
+#else
+#define BHSS_HOT
+#endif

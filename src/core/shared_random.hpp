@@ -15,6 +15,8 @@
 #include <cstdint>
 #include <span>
 
+#include "core/contracts.hpp"
+
 namespace bhss::core {
 
 /// Deterministic PRNG shared between transmitter and receiver.
@@ -24,17 +26,17 @@ class SharedRandom {
   explicit SharedRandom(std::uint64_t seed) noexcept;
 
   /// Next 64 random bits.
-  [[nodiscard]] std::uint64_t next_u64() noexcept;
+  [[nodiscard]] BHSS_HOT std::uint64_t next_u64() noexcept;
 
   /// Uniform double in [0, 1).
-  [[nodiscard]] double uniform() noexcept;
+  [[nodiscard]] BHSS_HOT double uniform() noexcept;
 
   /// Uniform integer in [0, n).
-  [[nodiscard]] std::size_t uniform_index(std::size_t n) noexcept;
+  [[nodiscard]] BHSS_HOT std::size_t uniform_index(std::size_t n) noexcept;
 
   /// Draw an index according to a discrete distribution (weights need not
   /// be normalised).
-  [[nodiscard]] std::size_t pick(std::span<const double> weights) noexcept;
+  [[nodiscard]] BHSS_HOT std::size_t pick(std::span<const double> weights) noexcept;
 
   /// Derive a non-zero 32-bit seed for the PN chip scrambler.
   [[nodiscard]] std::uint32_t derive_scrambler_seed() noexcept;

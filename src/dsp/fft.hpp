@@ -13,6 +13,7 @@
 
 #include <memory>
 
+#include "core/contracts.hpp"
 #include "dsp/types.hpp"
 
 namespace bhss::dsp {
@@ -30,17 +31,17 @@ class Fft {
   [[nodiscard]] std::size_t size() const noexcept { return n_; }
 
   /// In-place forward transform of `x` (x.size() must equal size()).
-  void forward(cspan_mut x) const;
+  BHSS_HOT void forward(cspan_mut x) const;
 
   /// In-place inverse transform of `x` (normalised by 1/N).
-  void inverse(cspan_mut x) const;
+  BHSS_HOT void inverse(cspan_mut x) const;
 
   /// Out-of-place convenience: returns FFT of `x`.
   [[nodiscard]] cvec forward_copy(cspan x) const;
 
   /// Zero-pad `x` into `out` (whose size must equal size()) and transform
   /// in place — `forward_copy` without the per-call allocation.
-  void forward_into(cspan x, cspan_mut out) const;
+  BHSS_HOT void forward_into(cspan x, cspan_mut out) const;
 
   /// True if `n` is a power of two >= 2.
   [[nodiscard]] static bool valid_size(std::size_t n) noexcept;

@@ -94,6 +94,7 @@ cvec FftConvolver::filter(cspan x) {
 }
 
 void FftConvolver::filter(cspan x, cvec& out) {
+  // BHSS_ANALYZE_SUPPRESS(h1-hot-path-purity): resize to the documented output length; allocation-free once the caller's buffer has capacity (see header contract)
   out.resize(x.size());
   cvec& block = work_;
   // Overlap-save: each iteration consumes block_size_ fresh samples and

@@ -10,6 +10,7 @@
 ///  * a stateful direct-form filter for streaming use and an
 ///    overlap-save FFT convolver for fast block processing.
 
+#include "core/contracts.hpp"
 #include "dsp/fft.hpp"
 #include "dsp/types.hpp"
 #include "dsp/window.hpp"
@@ -36,7 +37,7 @@ class FirFilter {
   void reset() noexcept;
 
   /// Filter a single sample.
-  [[nodiscard]] cf process(cf in) noexcept;
+  [[nodiscard]] BHSS_HOT cf process(cf in) noexcept;
 
   /// Filter a block; output has the same length as input.
   [[nodiscard]] cvec process(cspan in);
@@ -68,7 +69,7 @@ class FftConvolver {
 
   /// Causal filtering into a caller-provided buffer (resized to x.size());
   /// allocation-free once `out` has capacity.
-  void filter(cspan x, cvec& out);
+  BHSS_HOT void filter(cspan x, cvec& out);
 
   [[nodiscard]] std::size_t num_taps() const noexcept { return num_taps_; }
 

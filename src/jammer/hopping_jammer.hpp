@@ -36,6 +36,10 @@ class HoppingJammer {
   std::vector<double> bandwidth_fracs_;
   std::size_t dwell_samples_;
   std::vector<NoiseJammer> sources_;  ///< one shaped source per bandwidth
+  // The jammer is the adversary: its RNG is a separate domain from the
+  // protocol's SharedRandom by design, seeded explicitly per instance so
+  // runs stay replayable without consuming the communicator's stream.
+  // BHSS_ANALYZE_SUPPRESS(d2-rng-discipline): adversary-domain RNG, explicitly seeded per instance
   std::mt19937_64 rng_;
   std::discrete_distribution<std::size_t> pick_;
   std::vector<double> last_hops_;

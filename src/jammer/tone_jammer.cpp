@@ -15,6 +15,7 @@ ToneJammer::ToneJammer(std::vector<double> freqs, std::uint64_t seed)
   for (double f : freqs_) {
     BHSS_REQUIRE(f > -0.5 && f < 0.5, "ToneJammer: frequency must be in (-0.5, 0.5)");
   }
+  // BHSS_ANALYZE_SUPPRESS(d2-rng-discipline): adversary-domain phase randomization, explicitly seeded per instance
   std::mt19937_64 rng(seed);
   std::uniform_real_distribution<double> uniform(0.0, 1.0);
   phases_.resize(freqs_.size());
@@ -46,6 +47,7 @@ SweptJammer::SweptJammer(double f_lo, double f_hi, std::size_t sweep_samples,
                "SweptJammer: need -0.5 < f_lo < f_hi < 0.5");
   BHSS_REQUIRE(sweep_samples != 0, "SweptJammer: sweep must be > 0");
   rate_ = (f_hi - f_lo) / static_cast<double>(sweep_samples);
+  // BHSS_ANALYZE_SUPPRESS(d2-rng-discipline): adversary-domain RNG, explicitly seeded per instance (see ToneJammer)
   std::mt19937_64 rng(seed);
   std::uniform_real_distribution<double> uniform(0.0, 1.0);
   freq_ = f_lo + uniform(rng) * (f_hi - f_lo);

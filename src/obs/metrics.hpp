@@ -25,6 +25,8 @@
 #include <string_view>
 #include <vector>
 
+#include "core/contracts.hpp"
+
 namespace bhss::obs {
 
 enum class InstrumentKind : std::uint8_t { counter, gauge, histogram };
@@ -94,9 +96,9 @@ class MetricsShard {
   void bind(const MetricsRegistry* registry);
   [[nodiscard]] const MetricsRegistry* registry() const noexcept { return registry_; }
 
-  void add(std::size_t id, std::uint64_t n = 1) noexcept;
-  void set(std::size_t id, double value) noexcept;
-  void observe(std::size_t id, double value) noexcept;
+  BHSS_HOT void add(std::size_t id, std::uint64_t n = 1) noexcept;
+  BHSS_HOT void set(std::size_t id, double value) noexcept;
+  BHSS_HOT void observe(std::size_t id, double value) noexcept;
 
   [[nodiscard]] std::uint64_t counter(std::size_t id) const;
   [[nodiscard]] std::optional<double> gauge(std::size_t id) const;

@@ -11,6 +11,7 @@
 #include <array>
 #include <cstdint>
 
+#include "core/contracts.hpp"
 #include "dsp/types.hpp"
 
 namespace bhss::phy {
@@ -28,7 +29,7 @@ class ChipTable {
   ChipTable();
 
   /// Chip sequence for symbol `s` (0..15).
-  [[nodiscard]] const ChipSequence& sequence(std::uint8_t s) const noexcept {
+  [[nodiscard]] BHSS_HOT const ChipSequence& sequence(std::uint8_t s) const noexcept {
     return rows_[s];
   }
 

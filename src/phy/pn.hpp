@@ -9,6 +9,7 @@
 
 #include <cstdint>
 
+#include "core/contracts.hpp"
 #include "dsp/types.hpp"
 
 namespace bhss::phy {
@@ -24,13 +25,13 @@ class LfsrPn {
                   unsigned length = 16) noexcept;
 
   /// Next chip as 0/1.
-  [[nodiscard]] bool next_bit() noexcept;
+  [[nodiscard]] BHSS_HOT bool next_bit() noexcept;
 
   /// Next chip as +1.0f / -1.0f (bit 0 -> +1, bit 1 -> -1).
-  [[nodiscard]] float next_chip() noexcept;
+  [[nodiscard]] BHSS_HOT float next_chip() noexcept;
 
   /// Fill a buffer with +-1 chips.
-  void fill_chips(std::span<float> out) noexcept;
+  BHSS_HOT void fill_chips(std::span<float> out) noexcept;
 
   /// Current register state (for tests).
   [[nodiscard]] std::uint32_t state() const noexcept { return state_; }

@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/contracts.hpp"
 #include "dsp/types.hpp"
 #include "phy/chip_table.hpp"
 #include "phy/pn.hpp"
@@ -63,13 +64,13 @@ class Despreader {
   explicit Despreader(std::uint32_t scrambler_seed = 0);
 
   /// Correlate 32 received soft chips against all table rows.
-  [[nodiscard]] DespreadResult despread_symbol(std::span<const float> soft_chips);
+  [[nodiscard]] BHSS_HOT DespreadResult despread_symbol(std::span<const float> soft_chips);
 
   /// Correlate 16 complex chip pairs (from
   /// QpskDemodulator::demodulate_pairs) against all table rows. The
   /// decision maximises the coherent (real) correlation; the returned
   /// complex value additionally measures the residual carrier phase.
-  [[nodiscard]] DespreadPairsResult despread_pairs(dsp::cspan pairs);
+  [[nodiscard]] BHSS_HOT DespreadPairsResult despread_pairs(dsp::cspan pairs);
 
  private:
   bool scrambling_;

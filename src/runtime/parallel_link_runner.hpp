@@ -19,6 +19,7 @@
 
 #include <cstdint>
 
+#include "core/contracts.hpp"
 #include "core/link_simulator.hpp"
 #include "runtime/thread_pool.hpp"
 
@@ -69,8 +70,8 @@ class ParallelLinkRunner {
   /// The seed tuple shard `shard` runs with — exposed for the determinism
   /// tests (golden values) and for reproducing a single shard in
   /// isolation.
-  [[nodiscard]] static core::ShardSeeds shard_seeds(const core::SimConfig& cfg,
-                                                    std::size_t shard) noexcept;
+  [[nodiscard]] BHSS_HOT static core::ShardSeeds shard_seeds(const core::SimConfig& cfg,
+                                                             std::size_t shard) noexcept;
 
   /// Global packet range [first, first + count) of shard `shard` when
   /// `n_packets` packets are split over `n_shards` shards (the first
@@ -82,8 +83,8 @@ class ParallelLinkRunner {
     std::size_t first = 0;
     std::size_t count = 0;
   };
-  [[nodiscard]] static ShardRange shard_range(std::size_t n_packets, std::size_t n_shards,
-                                              std::size_t shard) noexcept;
+  [[nodiscard]] BHSS_HOT static ShardRange shard_range(std::size_t n_packets, std::size_t n_shards,
+                                                       std::size_t shard) noexcept;
 
  private:
   RunnerOptions options_;

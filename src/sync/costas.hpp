@@ -6,6 +6,7 @@
 /// interference-suppression filter. The loop error is the classic
 /// decision-directed QPSK detector e = sgn(I)*Q - sgn(Q)*I.
 
+#include "core/contracts.hpp"
 #include "dsp/types.hpp"
 
 namespace bhss::sync {
@@ -21,10 +22,10 @@ class CostasLoop {
                       float max_freq = 0.5F);
 
   /// Rotate one sample by the current NCO phase and update the loop.
-  [[nodiscard]] dsp::cf process(dsp::cf in) noexcept;
+  [[nodiscard]] BHSS_HOT dsp::cf process(dsp::cf in) noexcept;
 
   /// Process a block in place.
-  void process(dsp::cspan_mut x) noexcept;
+  BHSS_HOT void process(dsp::cspan_mut x) noexcept;
 
   [[nodiscard]] float phase() const noexcept { return phase_; }
   [[nodiscard]] float frequency() const noexcept { return freq_; }

@@ -6,6 +6,7 @@
 /// Implemented as a second-order loop driving a cubic (Farrow)
 /// interpolator over the input stream.
 
+#include "core/contracts.hpp"
 #include "dsp/types.hpp"
 
 namespace bhss::sync {
@@ -21,7 +22,7 @@ class GardnerTimingRecovery {
 
   /// Consume a block of input samples; append recovered symbol-spaced
   /// samples to `out`. State persists across calls.
-  void process(dsp::cspan in, dsp::cvec& out);
+  BHSS_HOT void process(dsp::cspan in, dsp::cvec& out);
 
   /// Current fractional timing estimate in samples (for tests).
   [[nodiscard]] double timing_offset() const noexcept { return mu_; }
@@ -32,7 +33,7 @@ class GardnerTimingRecovery {
   void reset() noexcept;
 
  private:
-  [[nodiscard]] dsp::cf interpolate(double index) const noexcept;
+  [[nodiscard]] BHSS_HOT dsp::cf interpolate(double index) const noexcept;
 
   double nominal_period_;
   float alpha_;

@@ -1,0 +1,21 @@
+// bhss-analyze fixture: c1-contract-coverage MUST fire.
+// Header-exported functions dereference span/pointer parameters with no
+// BHSS_REQUIRE or size()/empty()/nullptr guard before the first access.
+#pragma once
+#include <span>
+
+namespace fx {
+
+inline float first_sample(std::span<const float> chips) {
+  return chips[0];  // unguarded subscript
+}
+
+inline float peek_front(std::span<const float> chips) {
+  return chips.front();  // unguarded front()
+}
+
+inline float read_scale(const float* gain) {
+  return *gain;  // unguarded pointer deref
+}
+
+}  // namespace fx

@@ -1,0 +1,23 @@
+// bhss-analyze fixture: d1-deterministic-fold MUST fire.
+// A merge_* function iterates an unordered container: the fold order then
+// depends on hashing/insertion history, not on shard order.
+#include <cstdint>
+#include <unordered_map>
+
+namespace fx {
+
+struct Stats {
+  double sum = 0.0;
+  std::uint64_t n = 0;
+};
+
+Stats merge_shard_stats(const std::unordered_map<int, double>& parts) {
+  Stats s;
+  for (const auto& kv : parts) {  // unordered iteration in a fold
+    s.sum += kv.second;
+    ++s.n;
+  }
+  return s;
+}
+
+}  // namespace fx

@@ -1,0 +1,31 @@
+// bhss-analyze fixture: d1-deterministic-fold must NOT fire.
+// The fold walks a vector in ascending index order — a pure left fold —
+// and an unrelated (non-fold) function may iterate an unordered map.
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace fx {
+
+struct Stats {
+  double sum = 0.0;
+  std::uint64_t n = 0;
+};
+
+Stats merge_shard_stats(const std::vector<double>& parts) {
+  Stats s;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    s.sum += parts[i];
+    ++s.n;
+  }
+  return s;
+}
+
+// Not a merge/fold function: unordered iteration is allowed here.
+double debug_total(const std::unordered_map<int, double>& parts) {
+  double t = 0.0;
+  for (const auto& kv : parts) t += kv.second;
+  return t;
+}
+
+}  // namespace fx

@@ -1,0 +1,21 @@
+// bhss-analyze fixture: d2-rng-discipline MUST fire.
+// Ad-hoc std RNG engines, std::random_device and a time()-derived seed,
+// all outside src/core/shared_random.
+#include <ctime>
+#include <random>
+
+namespace fx {
+
+double jitter() {
+  std::random_device rd;                 // non-reproducible entropy
+  std::mt19937_64 gen(rd());             // ad-hoc engine
+  std::uniform_real_distribution<double> dist(0.0, 1.0);
+  return dist(gen);
+}
+
+unsigned long clock_seed() {
+  const unsigned long seed = static_cast<unsigned long>(time(nullptr));
+  return seed;                           // wall-clock-derived seed
+}
+
+}  // namespace fx

@@ -1,0 +1,29 @@
+// bhss-analyze fixture: d2-rng-discipline must NOT fire.
+// All randomness is drawn through an injected SharedRandom-style source;
+// time() is used for a timestamp, not a seed.
+#include <cstdint>
+#include <ctime>
+
+namespace fx {
+
+class RandomSource {  // stand-in for core::SharedRandom
+ public:
+  explicit RandomSource(std::uint64_t s) noexcept : state_(s) {}
+  std::uint64_t next_u64() noexcept {
+    state_ = state_ * 6364136223846793005ULL + 1442695040888963407ULL;
+    return state_;
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+double draw(RandomSource& rng) {
+  return static_cast<double>(rng.next_u64() >> 11) * 0x1.0p-53;
+}
+
+long stamp_log_entry() {
+  return static_cast<long>(time(nullptr));  // timestamp, not randomness
+}
+
+}  // namespace fx

@@ -1,0 +1,33 @@
+// bhss-analyze fixture: h1-hot-path-purity MUST fire.
+// A BHSS_HOT root reaches, through one call-graph hop, a helper that
+// allocates; the hot function itself also locks a mutex.
+#define BHSS_HOT
+#include <mutex>
+#include <vector>
+
+namespace fx {
+
+float accumulate(float x);  // defined below; allocates
+
+class Producer {
+ public:
+  BHSS_HOT float step(float x) noexcept;
+
+ private:
+  std::mutex m_;
+  float state_ = 0.0F;
+};
+
+float Producer::step(float x) noexcept {
+  std::lock_guard<std::mutex> lock(m_);  // mutex on the hot path
+  state_ += accumulate(x);               // transitive allocation
+  return state_;
+}
+
+float accumulate(float x) {
+  std::vector<float> tmp(16);  // heap allocation reached from a hot root
+  tmp[0] = x;
+  return tmp[0] * 2.0F;
+}
+
+}  // namespace fx

@@ -1,0 +1,33 @@
+// bhss-analyze fixture: h1-hot-path-purity must NOT fire.
+// The hot function and everything it reaches is pure arithmetic; an
+// allocating cold function exists in the same file but is unreachable
+// from any BHSS_HOT root.
+#define BHSS_HOT
+#include <array>
+#include <vector>
+
+namespace fx {
+
+float scale(float x) { return x * 0.5F; }
+
+class Producer {
+ public:
+  BHSS_HOT float step(float x) noexcept;
+
+  // Cold setup path: allocation here is fine.
+  void configure(std::size_t n) { history_.assign(n, 0.0F); }
+
+ private:
+  std::array<float, 8> taps_{};
+  std::vector<float> history_;
+  float state_ = 0.0F;
+};
+
+float Producer::step(float x) noexcept {
+  float acc = 0.0F;
+  for (float t : taps_) acc += t * scale(x);
+  state_ += acc;
+  return state_;
+}
+
+}  // namespace fx

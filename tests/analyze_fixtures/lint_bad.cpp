@@ -1,0 +1,34 @@
+// bhss_lint fixture: raw-allocation and unmanaged-random MUST fire.
+#include <cstdlib>
+#include <new>
+#include <random>
+
+namespace fx {
+
+struct Widget {
+  int v = 0;
+};
+
+int* leak_buffer(std::size_t n) {
+  int* p = new int[n];  // raw heap new
+  return p;
+}
+
+Widget* nothrow_alloc() {
+  return new (std::nothrow) Widget;  // nothrow-new still heap-allocates
+}
+
+void* c_alloc(std::size_t n) {
+  return std::malloc(n);  // malloc is banned
+}
+
+int bad_random() {
+  return std::rand();  // rand() is banned
+}
+
+unsigned entropy() {
+  std::random_device rd;  // ad-hoc entropy source
+  return rd();
+}
+
+}  // namespace fx

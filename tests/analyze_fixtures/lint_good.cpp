@@ -1,0 +1,43 @@
+// bhss_lint fixture: must report ZERO findings.
+// Exercises the raw-allocation matcher's known hard cases: placement-new
+// into existing storage (including the no-destruct immortal-static union
+// idiom), operator-new declarations, and member functions that happen to
+// be called free().
+#include <new>
+#include <string>
+#include <vector>
+
+namespace fx {
+
+// The PR-5 no-destruct idiom: storage whose destructor never runs.
+union Holder {
+  std::string value;
+  Holder() : value() {}
+  ~Holder() {}
+};
+
+struct Arena {
+  void free(void* p) noexcept { last = p; }  // member free(), not libc's
+  void* last = nullptr;
+};
+
+struct Tracked {
+  // Class-scope operator-new declaration is not an allocation site.
+  static void* operator new(std::size_t n);
+  int v = 0;
+};
+
+inline std::string* immortal_string() {
+  static Holder h;
+  return ::new (&h.value) std::string("immortal");  // placement-new, no heap
+}
+
+inline void construct_at(void* storage) {
+  new (storage) Tracked{};  // placement-new into caller storage
+}
+
+inline void release(Arena& a, void* p) { a.free(p); }
+
+inline std::vector<int> managed(std::size_t n) { return std::vector<int>(n); }
+
+}  // namespace fx

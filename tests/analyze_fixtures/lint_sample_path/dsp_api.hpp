@@ -1,0 +1,18 @@
+// bhss_lint fixture for R1/R4 (sample-path rules; the test driver points
+// SAMPLE_PATH_DIRS at this directory): a double-typed buffer and a const
+// vector& parameter in a public header signature MUST both fire.
+#pragma once
+#include <vector>
+
+namespace fx {
+
+// R1 sample-path-double: double buffer in a sample-path signature.
+void filter_block(const std::vector<double>& taps, double* samples);
+
+// R4 vector-ref-param: should take a span, not const vector&.
+float correlate(const std::vector<float>& a, const std::vector<float>& b);
+
+// Scalar doubles are fine.
+double design_cutoff(double rate, double attenuation_db);
+
+}  // namespace fx

@@ -1,0 +1,14 @@
+// bhss-analyze fixture: a suppression WITHOUT a reason must itself be
+// reported (check: suppression-missing-reason) and fail the run.
+#include <random>
+
+namespace fx {
+
+double adversary_draw(unsigned long seed) {
+  // BHSS_ANALYZE_SUPPRESS(d2-rng-discipline)
+  std::mt19937_64 gen(seed);
+  std::uniform_real_distribution<double> dist(0.0, 1.0);
+  return dist(gen);
+}
+
+}  // namespace fx

@@ -1,0 +1,14 @@
+// bhss-analyze fixture: a reasoned inline suppression silences the
+// finding — the analyzer must exit 0 and count one suppressed finding.
+#include <random>
+
+namespace fx {
+
+double adversary_draw(unsigned long seed) {
+  // BHSS_ANALYZE_SUPPRESS(d2-rng-discipline): fixture stand-in for adversary-domain RNG, explicitly seeded
+  std::mt19937_64 gen(seed);
+  std::uniform_real_distribution<double> dist(0.0, 1.0);
+  return dist(gen);
+}
+
+}  // namespace fx
