@@ -55,7 +55,10 @@ namespace bhss::bench {
 /// change meaning; consumers refuse to merge mixed-schema journals.
 /// v3: checkpoint journals may carry telemetry (`O`) records, and the
 /// --metrics/--trace JSONL streams exist.
-inline constexpr std::size_t kSchemaVersion = 3;
+/// v4: the canonical link schema gained the filter_cache_{hits,misses}
+/// counters (excision design cache), so `O` records and --metrics lines
+/// carry two more tokens/keys.
+inline constexpr std::size_t kSchemaVersion = 4;
 
 /// Exit status of a gracefully drained (SIGINT/SIGTERM) checkpointed
 /// campaign: the run is incomplete but everything finished is journaled —

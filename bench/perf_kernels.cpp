@@ -16,6 +16,8 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <cmath>
+#include <cstdio>
 #include <cstring>
 #include <random>
 #include <string>
@@ -29,10 +31,15 @@
 #include "dsp/fft.hpp"
 #include "dsp/fir.hpp"
 #include "dsp/psd.hpp"
+#include "dsp/real_fft.hpp"
+#include "dsp/simd/simd.hpp"
+#include "dsp/utils.hpp"
 #include "obs/link_obs.hpp"
+#include "phy/chip_table.hpp"
 #include "phy/modulator.hpp"
 #include "phy/spreader.hpp"
 #include "runtime/parallel_link_runner.hpp"
+#include "sync/correlate.hpp"
 
 namespace {
 
@@ -167,6 +174,156 @@ void BM_WelchPsd(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 16384);
 }
 BENCHMARK(BM_WelchPsd);
+
+// ------------------------------------------------------------ SIMD kernels
+//
+// Each vector kernel is benchmarked against its always-built scalar
+// reference under the same name prefix, so one JSONL documents the ISA
+// speedup on the machine that produced it.
+
+void BM_SimdFirBlock(benchmark::State& state) {
+  const auto n_taps = static_cast<std::size_t>(state.range(0));
+  const dsp::cvec taps = random_signal(n_taps, 11);
+  const dsp::cvec x = random_signal(4096 + n_taps - 1, 12);
+  dsp::cvec y(4096);
+  for (auto _ : state) {
+    dsp::simd::fir_filter_block(taps.data(), n_taps, x.data(), y.data(), y.size());
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_SimdFirBlock)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_ScalarFirBlock(benchmark::State& state) {
+  const auto n_taps = static_cast<std::size_t>(state.range(0));
+  const dsp::cvec taps = random_signal(n_taps, 11);
+  const dsp::cvec x = random_signal(4096 + n_taps - 1, 12);
+  dsp::cvec y(4096);
+  for (auto _ : state) {
+    dsp::simd::scalar::fir_filter_block(taps.data(), n_taps, x.data(), y.data(), y.size());
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_ScalarFirBlock)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_SimdDespread16(benchmark::State& state) {
+  const dsp::cvec pairs = random_signal(16, 13);
+  std::vector<float> se(16, 1.0F);
+  std::vector<float> so(16, -1.0F);
+  const float* cols = phy::ChipTable::instance().columns();
+  std::vector<dsp::cf> corr(phy::kNumSymbols);
+  for (auto _ : state) {
+    dsp::simd::despread_correlate16(pairs.data(), pairs.size(), se.data(), so.data(), cols,
+                                    corr.data());
+    benchmark::DoNotOptimize(corr.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 16);
+}
+BENCHMARK(BM_SimdDespread16);
+
+void BM_ScalarDespread16(benchmark::State& state) {
+  const dsp::cvec pairs = random_signal(16, 13);
+  std::vector<float> se(16, 1.0F);
+  std::vector<float> so(16, -1.0F);
+  const float* cols = phy::ChipTable::instance().columns();
+  std::vector<dsp::cf> corr(phy::kNumSymbols);
+  for (auto _ : state) {
+    dsp::simd::scalar::despread_correlate16(pairs.data(), pairs.size(), se.data(), so.data(),
+                                            cols, corr.data());
+    benchmark::DoNotOptimize(corr.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 16);
+}
+BENCHMARK(BM_ScalarDespread16);
+
+void BM_CorrelateSearch(benchmark::State& state) {
+  const auto n_ref = static_cast<std::size_t>(state.range(0));
+  const dsp::cvec ref = random_signal(n_ref, 14);
+  const dsp::cvec x = random_signal(8192 + n_ref, 15);
+  for (auto _ : state) {
+    const sync::CorrelationPeak peak = sync::correlate_search(x, ref, 8192);
+    benchmark::DoNotOptimize(peak.normalized);
+  }
+  state.SetItemsProcessed(state.iterations() * 8192);
+}
+BENCHMARK(BM_CorrelateSearch)->Arg(64)->Arg(512);
+
+void BM_WelchPsdReal(benchmark::State& state) {
+  std::mt19937 rng(16);
+  std::normal_distribution<float> dist(0.0F, 1.0F);
+  dsp::fvec x(16384);
+  for (float& v : x) v = dist(rng);
+  for (auto _ : state) {
+    auto psd = dsp::welch_psd_real(dsp::fspan{x}, 256);
+    benchmark::DoNotOptimize(psd.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 16384);
+}
+BENCHMARK(BM_WelchPsdReal);
+
+void BM_RealFft(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  dsp::RealFft rfft(n);
+  std::mt19937 rng(17);
+  std::normal_distribution<float> dist(0.0F, 1.0F);
+  dsp::fvec x(n);
+  for (float& v : x) v = dist(rng);
+  dsp::cvec out(n / 2 + 1);
+  for (auto _ : state) {
+    rfft.forward(dsp::fspan{x}, dsp::cspan_mut{out});
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_RealFft)->Arg(256)->Arg(1024)->Arg(4096);
+
+// ------------------------------------------------------ filter-design cache
+
+/// A tone-jammed slice whose hot-bin mask repeats: the second and later
+/// designs inside one iteration replay from the cache (steady state is
+/// one miss, then hits). The *Uncached variant disables the cache, so the
+/// delta is the full design + taps-spectrum FFT the cache saves per hop.
+dsp::cvec tone_jammed_slice(std::size_t n) {
+  dsp::cvec x = random_signal(n, 18);
+  for (std::size_t i = 0; i < n; ++i) {
+    const float ph = 2.0F * 3.14159265F * 0.01F * static_cast<float>(i);
+    x[i] += dsp::cf{40.0F * std::cos(ph), 40.0F * std::sin(ph)};
+  }
+  return x;
+}
+
+/// The arg is the bandwidth level: at level 0 the design FFT is small and
+/// the (uncacheable) PSD estimate dominates the call, so the pair bounds
+/// the cache's best case from below; at level 6 the design runs at 4096
+/// taps plus a 16k-point taps-spectrum FFT, the work a hit actually skips.
+void BM_FilterDesignCached(benchmark::State& state) {
+  const auto level = static_cast<std::size_t>(state.range(0));
+  const core::BandwidthSet bands = core::BandwidthSet::paper();
+  const core::ControlLogic logic({}, bands);
+  const dsp::cvec slice = tone_jammed_slice(16384);
+  for (auto _ : state) {
+    const core::FilterDecision d = logic.force_excision(slice, level);
+    benchmark::DoNotOptimize(d.taps.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FilterDesignCached)->Arg(0)->Arg(6);
+
+void BM_FilterDesignUncached(benchmark::State& state) {
+  const auto level = static_cast<std::size_t>(state.range(0));
+  const core::BandwidthSet bands = core::BandwidthSet::paper();
+  core::ControlLogicConfig cfg;
+  cfg.design_cache_capacity = 0;
+  const core::ControlLogic logic(cfg, bands);
+  const dsp::cvec slice = tone_jammed_slice(16384);
+  for (auto _ : state) {
+    const core::FilterDecision d = logic.force_excision(slice, level);
+    benchmark::DoNotOptimize(d.taps.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FilterDesignUncached)->Arg(0)->Arg(6);
 
 void BM_ExcisionDesign(benchmark::State& state) {
   dsp::fvec psd(256, 1.0F);
@@ -323,11 +480,56 @@ void BM_TracePush(benchmark::State& state) {
 }
 BENCHMARK(BM_TracePush);
 
+// --------------------------------------------------- build-flavour guard
+
+#if defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define BHSS_BENCH_SANITIZED 1
+#endif
+#elif defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define BHSS_BENCH_SANITIZED 1
+#endif
+
+/// "release", "debug", or "sanitizer" — numbers from anything but
+/// "release" must never be recorded into BENCH_kernels.json.
+const char* build_flavor() {
+#if defined(BHSS_BENCH_SANITIZED)
+  return "sanitizer";
+#elif defined(NDEBUG)
+  return "release";
+#else
+  return "debug";
+#endif
+}
+
+/// Loudly refuse to let non-release numbers masquerade as perf data. The
+/// banner goes to stderr (it must not corrupt --json output on stdout)
+/// and the flavour is stamped into the JSON context either way, so
+/// scripts/perf_compare.py can reject a mis-built baseline even when the
+/// banner scrolled away.
+void warn_if_not_release() {
+  if (std::strcmp(build_flavor(), "release") == 0) return;
+  std::fprintf(stderr,
+               "\n"
+               "********************************************************************\n"
+               "** WARNING: perf_kernels was built as '%s', not 'release'.\n"
+               "** These numbers are meaningless for regression gating. Rebuild\n"
+               "** with -DCMAKE_BUILD_TYPE=Release (see EXPERIMENTS.md) before\n"
+               "** recording BENCH_kernels.json or comparing against it.\n"
+               "********************************************************************\n"
+               "\n",
+               build_flavor());
+}
+
 }  // namespace
 
-// Custom main: rewrite --json=PATH into the native reporter flags, then
-// hand over to google-benchmark.
+// Custom main: stamp the build flavour + active ISA into the benchmark
+// context, rewrite --json=PATH into the native reporter flags, then hand
+// over to google-benchmark.
 int main(int argc, char** argv) {
+  warn_if_not_release();
+  benchmark::AddCustomContext("bhss_build_flavor", build_flavor());
+  benchmark::AddCustomContext("bhss_simd_isa", bhss::dsp::simd::active_isa());
   std::vector<std::string> storage;
   storage.reserve(static_cast<std::size_t>(argc) + 1);
   for (int i = 0; i < argc; ++i) {

@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Gate kernel benchmark results against the committed baseline.
+
+Compares a fresh google-benchmark JSON export (perf_kernels --json=...)
+against BENCH_kernels.json and fails when any benchmark shared by both
+files regressed by more than the tolerance (default 15 %). Benchmarks
+present on only one side are reported but never fail the gate, so adding
+or retiring a benchmark does not require touching the baseline in the
+same commit.
+
+Modes:
+  perf_compare.py RESULTS.json                 gate against BENCH_kernels.json
+  perf_compare.py RESULTS.json --baseline P    gate against P
+  perf_compare.py RESULTS.json --calibrate     rewrite the baseline from RESULTS
+
+Both the gate and --calibrate refuse results whose embedded
+`bhss_build_flavor` context (stamped by perf_kernels' custom main) is not
+"release": debug or sanitizer numbers are meaningless as perf data.
+Baselines recorded before the flavour stamp existed are accepted with a
+warning.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_BASELINE = REPO_ROOT / "BENCH_kernels.json"
+DEFAULT_TOLERANCE = 0.15
+
+
+def load_rows(path: Path) -> tuple[dict[str, float], dict]:
+    with open(path) as f:
+        doc = json.load(f)
+    rows: dict[str, float] = {}
+    for row in doc.get("benchmarks", []):
+        # Aggregate rows (mean/median/stddev from --benchmark_repetitions)
+        # would double-count; keep only plain iteration rows.
+        if row.get("run_type", "iteration") != "iteration":
+            continue
+        rows[row["name"]] = float(row["real_time"])
+    return rows, doc.get("context", {})
+
+
+def check_flavor(context: dict, what: str) -> list[str]:
+    flavor = context.get("bhss_build_flavor")
+    if flavor is None:
+        return [f"note: {what} has no bhss_build_flavor stamp (pre-stamp recording?)"]
+    if flavor != "release":
+        raise SystemExit(
+            f"error: {what} was produced by a '{flavor}' build of perf_kernels; "
+            "only release numbers may be gated or recorded (see EXPERIMENTS.md)")
+    return []
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("results", type=Path, help="fresh perf_kernels JSON export")
+    parser.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE,
+                        help=f"baseline to gate against (default {DEFAULT_BASELINE.name})")
+    parser.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE,
+                        help="allowed fractional slowdown before failing (default 0.15)")
+    parser.add_argument("--calibrate", action="store_true",
+                        help="rewrite the baseline from the results instead of gating")
+    args = parser.parse_args()
+
+    fresh, fresh_ctx = load_rows(args.results)
+    if not fresh:
+        print(f"error: no benchmark rows in {args.results}", file=sys.stderr)
+        return 2
+    for note in check_flavor(fresh_ctx, str(args.results)):
+        print(note)
+
+    if args.calibrate:
+        args.baseline.write_text(Path(args.results).read_text())
+        print(f"calibrated: {args.baseline} <- {args.results} ({len(fresh)} rows)")
+        return 0
+
+    base, base_ctx = load_rows(args.baseline)
+    for note in check_flavor(base_ctx, str(args.baseline)):
+        print(note)
+
+    shared = sorted(set(fresh) & set(base))
+    only_fresh = sorted(set(fresh) - set(base))
+    only_base = sorted(set(base) - set(fresh))
+    if not shared:
+        print("error: baseline and results share no benchmark names", file=sys.stderr)
+        return 2
+
+    failures: list[str] = []
+    width = max(len(n) for n in shared)
+    for name in shared:
+        ratio = fresh[name] / base[name] if base[name] > 0.0 else float("inf")
+        verdict = "ok"
+        if ratio > 1.0 + args.tolerance:
+            verdict = "REGRESSED"
+            failures.append(name)
+        print(f"  {name:<{width}}  {base[name]:>12.1f} -> {fresh[name]:>12.1f} ns "
+              f"({ratio:6.2f}x)  {verdict}")
+    for name in only_fresh:
+        print(f"  {name:<{width}}  (new benchmark, not gated)")
+    for name in only_base:
+        print(f"  {name:<{width}}  (missing from results, not gated)")
+
+    if failures:
+        print(f"\n{len(failures)} benchmark(s) regressed beyond "
+              f"{args.tolerance:.0%}: {', '.join(failures)}", file=sys.stderr)
+        print("If the slowdown is intended, re-record with --calibrate on an "
+              "idle machine and commit the new baseline.", file=sys.stderr)
+        return 1
+    print(f"\nall {len(shared)} shared benchmarks within {args.tolerance:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

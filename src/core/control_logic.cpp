@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numbers>
 #include <stdexcept>
+#include <utility>
 
 #include "core/contracts.hpp"
 #include "dsp/utils.hpp"
@@ -61,15 +62,17 @@ double msk_psd_shape(double f_norm, double sps) noexcept {
 }
 
 ControlLogic::ControlLogic(ControlLogicConfig config, const BandwidthSet& bands)
-    : config_(config), bands_(bands) {
+    : config_(config), bands_(bands), design_cache_(config.design_cache_capacity) {
   BHSS_REQUIRE(dsp::Fft::valid_size(config_.psd_fft),
                "ControlLogic: psd_fft must be a power of two");
 
   // Pre-compute the low-pass bank, one filter per bandwidth level, exactly
   // as the paper's implementation does ("we pre-compute the taps of all
-  // possible low-pass filters in advance", §6.1).
+  // possible low-pass filters in advance", §6.1) — and, with the taps,
+  // the frequency-domain convolution plan each one will be applied with.
   lpf_bank_.reserve(bands_.size());
   lpf_delay_.reserve(bands_.size());
+  lpf_plan_.reserve(bands_.size());
   for (std::size_t i = 0; i < bands_.size(); ++i) {
     const double cutoff = lpf_cutoff_frac(i);
     const double transition = std::max(0.25 * cutoff, 1e-4);
@@ -78,6 +81,7 @@ ControlLogic::ControlLogic(ControlLogicConfig config, const BandwidthSet& bands)
     const dsp::fvec taps = dsp::design_lowpass(n_taps, cutoff, dsp::Window::blackman);
     lpf_bank_.push_back(dsp::to_complex(taps));
     lpf_delay_.push_back((n_taps - 1) / 2);
+    lpf_plan_.push_back(dsp::ConvolverPlan::make(dsp::cspan{lpf_bank_.back()}));
   }
 
 }
@@ -126,6 +130,7 @@ FilterDecision ControlLogic::force_lowpass(std::size_t bw_index) const {
   d.kind = FilterDecision::Kind::lowpass;
   d.taps = lpf_bank_.at(bw_index);
   d.group_delay = lpf_delay_.at(bw_index);
+  d.plan = lpf_plan_.at(bw_index);
   return d;
 }
 
@@ -142,6 +147,9 @@ FilterDecision ControlLogic::force_excision(dsp::cspan slice, std::size_t bw_ind
   // the whole frame. Fall back to "no filter" and flag it instead.
   if (!dsp::all_finite(dsp::fspan{psd})) return degenerate_fallback();
   if (*std::max_element(psd.begin(), psd.end()) <= 0.0F) return degenerate_fallback();
+
+  FilterDecision d;
+  d.kind = FilterDecision::Kind::excision;
 
   if (config_.excision_style == ExcisionStyle::template_notch) {
     // Normalise by the own-signal spectral template, then clamp the ratio
@@ -179,13 +187,41 @@ FilterDecision ControlLogic::force_excision(dsp::cspan slice, std::size_t bw_ind
         dilated[(k + n - 1) % n] = true;
       }
     }
+    // The binary verdict above makes the design a pure function of
+    // (bandwidth level, dilated mask): look the key up before quantising
+    // the PSD — a hit replays bit-identical taps and skips the design FFT
+    // and the taps-spectrum transform entirely.
+    FilterDesignKey key;
+    key.bw_index = bw_index;
+    key.n_bins = n;
+    key.mask.assign((n + 63) / 64, 0);
+    for (std::size_t k = 0; k < n; ++k) {
+      if (dilated[k]) key.mask[k / 64] |= std::uint64_t{1} << (k % 64);
+    }
+    if (const FilterDesignEntry* cached = design_cache_.find(key)) {
+      d.taps = cached->taps;
+      d.group_delay = cached->group_delay;
+      d.plan = cached->plan;
+      d.cache = FilterDecision::CacheOutcome::hit;
+      return d;
+    }
+
     for (std::size_t k = 0; k < n; ++k) psd[k] = dilated[k] ? 1e12F : 1.0F;
+    d.taps = dsp::design_excision_whitening(psd, config_.excision_floor_rel, passband);
+    d.group_delay = d.taps.size() / 2;
+    d.plan = dsp::ConvolverPlan::make(dsp::cspan{d.taps});
+    if (design_cache_.capacity() > 0) {
+      d.cache = FilterDecision::CacheOutcome::miss;
+      design_cache_.insert(std::move(key), FilterDesignEntry{d.taps, d.group_delay, d.plan});
+    }
+    return d;
   }
 
-  FilterDecision d;
-  d.kind = FilterDecision::Kind::excision;
+  // Whitening style: the taps depend on the raw (un-quantised) PSD, so no
+  // finite key captures them — design fresh every hop, plan included.
   d.taps = dsp::design_excision_whitening(psd, config_.excision_floor_rel, passband);
   d.group_delay = d.taps.size() / 2;
+  d.plan = dsp::ConvolverPlan::make(dsp::cspan{d.taps});
   return d;
 }
 
@@ -271,6 +307,7 @@ FilterDecision ControlLogic::decide(dsp::cspan slice, std::size_t bw_index,
     d.kind = FilterDecision::Kind::lowpass;
     d.taps = lpf_bank_[bw_index];
     d.group_delay = lpf_delay_[bw_index];
+    d.plan = lpf_plan_[bw_index];
     return d;
   }
 

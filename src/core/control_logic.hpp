@@ -11,10 +11,12 @@
 ///    matter -> no filter (eq. (10): excising a near-matched band costs
 ///    more signal than jammer).
 
+#include <memory>
 #include <optional>
 #include <vector>
 
 #include "core/bandwidth_set.hpp"
+#include "core/filter_design_cache.hpp"
 #include "dsp/fir.hpp"
 #include "dsp/psd.hpp"
 #include "dsp/types.hpp"
@@ -44,9 +46,21 @@ enum class ExcisionStyle {
 struct FilterDecision {
   enum class Kind { none, lowpass, excision };
 
+  /// Where this decision's design came from, for the obs counters:
+  /// not_cacheable (no filter, low-pass bank, or the non-quantised
+  /// whitening style), a filter-design-cache hit, or a miss (freshly
+  /// designed and stored).
+  enum class CacheOutcome { not_cacheable, hit, miss };
+
   Kind kind = Kind::none;
   dsp::cvec taps;                 ///< empty when kind == none
   std::size_t group_delay = 0;    ///< samples to compensate after filtering
+
+  /// Shared frequency-domain convolution plan for `taps` (null when kind
+  /// == none). Lets the receiver apply the filter without re-transforming
+  /// the taps each hop.
+  std::shared_ptr<const dsp::ConvolverPlan> plan;
+  CacheOutcome cache = CacheOutcome::not_cacheable;
 
   // Diagnostics (what the estimator saw):
   double est_jammer_bw_frac = 0.0;  ///< estimated jammer occupancy (frac of Rs)
@@ -93,6 +107,12 @@ struct ControlLogicConfig {
 
   double excision_floor_rel = 1e-6;   ///< PSD floor clamp for eq. (3)
   ExcisionStyle excision_style = ExcisionStyle::template_notch;
+
+  /// Capacity of the per-receiver excision design cache (0 disables it).
+  /// Only the template_notch style is cacheable: its quantised PSD makes
+  /// the taps a pure function of (bw level, jammed-bin mask), so cached
+  /// and fresh designs are bit-identical. See filter_design_cache.hpp.
+  std::size_t design_cache_capacity = 64;
 };
 
 /// Stateless-per-call filter selector with precomputed low-pass banks.
@@ -114,6 +134,9 @@ class ControlLogic {
                                               obs::TraceSink* trace = nullptr) const;
 
   [[nodiscard]] const ControlLogicConfig& config() const noexcept { return config_; }
+
+  /// The excision design cache (hit/miss counters feed the obs layer).
+  [[nodiscard]] const FilterDesignCache& design_cache() const noexcept { return design_cache_; }
 
   /// One-sided low-pass cutoff (cycles/sample) used for a bandwidth level.
   [[nodiscard]] double lpf_cutoff_frac(std::size_t bw_index) const;
@@ -137,6 +160,12 @@ class ControlLogic {
   BandwidthSet bands_;
   std::vector<dsp::cvec> lpf_bank_;         ///< one low-pass per bandwidth level
   std::vector<std::size_t> lpf_delay_;
+  /// Convolution plans for the low-pass bank, precomputed with the taps
+  /// (the bank is fixed, so these never churn the design cache).
+  std::vector<std::shared_ptr<const dsp::ConvolverPlan>> lpf_plan_;
+  /// Excision design cache; mutable because `decide` is logically const
+  /// (the cache changes which work runs, never which decision comes out).
+  mutable FilterDesignCache design_cache_;
 };
 
 /// Analytic power spectral density of half-sine O-QPSK (MSK-shaped),

@@ -63,7 +63,10 @@ dsp::cvec BhssReceiver::filtered_slice(dsp::cspan buffer, std::size_t a0, std::s
     padded[i] = buffer[begin + i];
   }
 
-  dsp::FftConvolver convolver{dsp::cspan{decision.taps}};
+  // A cached decision (or a low-pass from the bank) carries the shared
+  // convolution plan; only a plan-less decision pays the taps FFT here.
+  dsp::FftConvolver convolver = decision.plan ? dsp::FftConvolver{decision.plan}
+                                              : dsp::FftConvolver{dsp::cspan{decision.taps}};
   const dsp::cvec filtered = convolver.filter(padded);
 
   dsp::cvec out(needed);
@@ -144,9 +147,19 @@ RxResult BhssReceiver::receive(dsp::cspan rx, std::uint64_t frame_counter,
       dsp::cvec sync_window(window.begin(), window.end());
       dsp::cvec sync_ref = reference;
       if (decision.kind != FilterDecision::Kind::none) {
-        dsp::FftConvolver convolver{dsp::cspan{decision.taps}};
+        dsp::FftConvolver convolver = decision.plan
+                                          ? dsp::FftConvolver{decision.plan}
+                                          : dsp::FftConvolver{dsp::cspan{decision.taps}};
         sync_window = convolver.filter(sync_window);
         sync_ref = convolver.filter(sync_ref);
+      }
+      if (obs::counting(o.metrics)) {
+        const obs::LinkIds& ids = obs::link_ids();
+        if (decision.cache == FilterDecision::CacheOutcome::hit) {
+          o.metrics->add(ids.filter_cache_hits);
+        } else if (decision.cache == FilterDecision::CacheOutcome::miss) {
+          o.metrics->add(ids.filter_cache_misses);
+        }
       }
 
       const sync::PreambleSync acquirer(std::move(sync_ref), config_.sync_threshold);
@@ -292,6 +305,11 @@ RxResult BhssReceiver::receive(dsp::cspan rx, std::uint64_t frame_counter,
         case FilterDecision::Kind::excision: o.metrics->add(ids.filter_excision); break;
       }
       if (decision.degenerate_psd) o.metrics->add(ids.degenerate_psd);
+      if (decision.cache == FilterDecision::CacheOutcome::hit) {
+        o.metrics->add(ids.filter_cache_hits);
+      } else if (decision.cache == FilterDecision::CacheOutcome::miss) {
+        o.metrics->add(ids.filter_cache_misses);
+      }
       o.metrics->observe(ids.est_jammer_bw, decision.est_jammer_bw_frac);
       o.metrics->observe(ids.inband_peak_db, decision.inband_peak_over_median_db);
     }

@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "core/contracts.hpp"
+#include "dsp/simd/simd.hpp"
 
 namespace bhss::dsp {
 
@@ -14,6 +15,11 @@ namespace bhss::dsp {
 struct FftPlan {
   std::vector<std::size_t> bitrev;
   cvec twiddles;  ///< exp(-j 2 pi k / n), k in [0, n/2)
+  /// Per-stage contiguous twiddle runs: stage_twiddles[s][k] ==
+  /// twiddles[k * step] for stage len = 2^(s+1), step = n/len. Same values
+  /// (bit-for-bit copies), laid out so the butterfly kernel streams them
+  /// with unit stride instead of the strided twiddles[k*step] walk.
+  std::vector<cvec> stage_twiddles;
 };
 
 namespace {
@@ -38,6 +44,14 @@ std::shared_ptr<const FftPlan> build_plan(std::size_t n) {
   for (std::size_t k = 0; k < n / 2; ++k) {
     const double angle = -2.0 * std::numbers::pi * static_cast<double>(k) / static_cast<double>(n);
     plan->twiddles[k] = cf(static_cast<float>(std::cos(angle)), static_cast<float>(std::sin(angle)));
+  }
+
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const std::size_t half = len / 2;
+    const std::size_t step = n / len;
+    cvec stage(half);
+    for (std::size_t k = 0; k < half; ++k) stage[k] = plan->twiddles[k * step];
+    plan->stage_twiddles.push_back(std::move(stage));
   }
   return plan;
 }
@@ -67,30 +81,25 @@ Fft::Fft(std::size_t n) : n_(n) {
 void Fft::transform(cspan_mut x, bool inverse) const {
   BHSS_REQUIRE(x.size() == n_, "Fft: buffer length must equal the transform size");
   const std::vector<std::size_t>& bitrev = plan_->bitrev;
-  const cvec& twiddles = plan_->twiddles;
   for (std::size_t i = 0; i < n_; ++i) {
     const std::size_t j = bitrev[i];
     if (i < j) std::swap(x[i], x[j]);
   }
-  for (std::size_t len = 2; len <= n_; len <<= 1) {
+  std::size_t stage = 0;
+  for (std::size_t len = 2; len <= n_; len <<= 1, ++stage) {
     const std::size_t half = len / 2;
-    const std::size_t step = n_ / len;
+    const cf* tw = plan_->stage_twiddles[stage].data();
     for (std::size_t start = 0; start < n_; start += len) {
-      for (std::size_t k = 0; k < half; ++k) {
-        cf w = twiddles[k * step];
-        if (inverse) w = std::conj(w);
-        const cf u = x[start + k];
-        const cf t = w * x[start + k + half];
-        x[start + k] = u + t;
-        x[start + k + half] = u - t;
-      }
+      simd::fft_butterflies(x.data() + start, x.data() + start + half, tw, half, inverse);
     }
   }
   if (inverse) {
     const float inv_n = 1.0F / static_cast<float>(n_);
-    for (cf& v : x) v *= inv_n;
+    simd::scale_inplace(x.data(), inv_n, n_);
   }
 }
+
+cspan Fft::twiddles() const noexcept { return cspan{plan_->twiddles}; }
 
 void Fft::forward(cspan_mut x) const { transform(x, false); }
 

@@ -5,6 +5,7 @@
 #include <numbers>
 
 #include "core/contracts.hpp"
+#include "dsp/simd/simd.hpp"
 #include "dsp/utils.hpp"
 
 namespace bhss::dsp {
@@ -42,25 +43,27 @@ cf FirFilter::process(cf in) noexcept {
 
 cvec FirFilter::process(cspan in) {
   cvec out(in.size());
+  if (in.empty()) return out;
   // Block path: same arithmetic and accumulation order as the per-sample
-  // overload, with the filter state hoisted out of the loop.
+  // overload, but laid out for the vectorized block kernel. At entry the
+  // previous n-1 samples sit contiguously, oldest first, at
+  // history_[head_+1 .. head_+n-1]; copying them in front of the input
+  // gives the kernel one flat buffer with no wrap logic.
   const std::size_t n = taps_.size();
-  cf* __restrict hist = history_.data();
-  const cf* __restrict taps = taps_.data();
-  std::size_t head = head_;
-  for (std::size_t i = 0; i < in.size(); ++i) {
-    const cf x = in[i];
-    hist[head] = x;
-    hist[head + n] = x;
-    const cf* base = hist + head + n;
-    cf acc{0.0F, 0.0F};
-    for (std::size_t k = 0; k < n; ++k) {
-      acc += taps[k] * *(base - static_cast<std::ptrdiff_t>(k));
-    }
-    out[i] = acc;
-    head = (head + 1 == n) ? 0 : head + 1;
+  ext_.resize(n - 1 + in.size());
+  std::copy_n(history_.data() + head_ + 1, n - 1, ext_.begin());
+  std::copy(in.begin(), in.end(), ext_.begin() + static_cast<std::ptrdiff_t>(n - 1));
+  simd::fir_filter_block(taps_.data(), n, ext_.data(), out.data(), in.size());
+  // Rebuild the delay line: the last n samples of ext_ are the new
+  // history in ascending time order. With head_ = 0 the next per-sample
+  // call reads x[t-k] from slot n-k, so slot i must hold tail[i] (and its
+  // double at i+n keeps the doubled-history invariant for later heads).
+  const cf* tail = ext_.data() + ext_.size() - n;
+  for (std::size_t i = 0; i < n; ++i) {
+    history_[i] = tail[i];
+    history_[i + n] = tail[i];
   }
-  head_ = head;
+  head_ = 0;
   return out;
 }
 
@@ -76,15 +79,26 @@ std::size_t next_pow2(std::size_t n) {
 
 }  // namespace
 
-FftConvolver::FftConvolver(cspan taps)
-    : num_taps_(taps.size()),
-      fft_size_(next_pow2(std::max<std::size_t>(4 * taps.size(), 1024))),
-      block_size_(fft_size_ - num_taps_ + 1),
-      fft_(fft_size_),
-      work_(fft_size_) {
-  BHSS_REQUIRE(!taps.empty(), "FftConvolver: taps must be non-empty");
-  BHSS_REQUIRE(all_finite(taps), "FftConvolver: taps must be finite");
-  taps_spectrum_ = fft_.forward_copy(taps);
+std::shared_ptr<const ConvolverPlan> ConvolverPlan::make(cspan taps) {
+  BHSS_REQUIRE(!taps.empty(), "ConvolverPlan: taps must be non-empty");
+  BHSS_REQUIRE(all_finite(taps), "ConvolverPlan: taps must be finite");
+  const std::size_t fft_size = next_pow2(std::max<std::size_t>(4 * taps.size(), 1024));
+  auto plan = std::make_shared<ConvolverPlan>(ConvolverPlan{
+      .num_taps = taps.size(),
+      .fft_size = fft_size,
+      .block_size = fft_size - taps.size() + 1,
+      .fft = Fft(fft_size),
+      .taps_spectrum = {},
+  });
+  plan->taps_spectrum = plan->fft.forward_copy(taps);
+  return plan;
+}
+
+FftConvolver::FftConvolver(cspan taps) : FftConvolver(ConvolverPlan::make(taps)) {}
+
+FftConvolver::FftConvolver(std::shared_ptr<const ConvolverPlan> plan)
+    : plan_(std::move(plan)), work_(plan_->fft_size) {
+  BHSS_REQUIRE(plan_ != nullptr, "FftConvolver: plan must be non-null");
 }
 
 cvec FftConvolver::filter(cspan x) {
@@ -97,21 +111,23 @@ void FftConvolver::filter(cspan x, cvec& out) {
   // BHSS_ANALYZE_SUPPRESS(h1-hot-path-purity): resize to the documented output length; allocation-free once the caller's buffer has capacity (see header contract)
   out.resize(x.size());
   cvec& block = work_;
-  // Overlap-save: each iteration consumes block_size_ fresh samples and
-  // reuses the previous num_taps_-1 samples (zeros before the start).
-  const std::size_t overlap = num_taps_ - 1;
-  for (std::size_t pos = 0; pos < x.size(); pos += block_size_) {
-    for (std::size_t i = 0; i < fft_size_; ++i) {
+  const std::size_t fft_size = plan_->fft_size;
+  const std::size_t block_size = plan_->block_size;
+  // Overlap-save: each iteration consumes block_size fresh samples and
+  // reuses the previous num_taps-1 samples (zeros before the start).
+  const std::size_t overlap = plan_->num_taps - 1;
+  for (std::size_t pos = 0; pos < x.size(); pos += block_size) {
+    for (std::size_t i = 0; i < fft_size; ++i) {
       // Sample index feeding this FFT bin; negative indices are zero.
       const auto global = static_cast<std::ptrdiff_t>(pos + i) - static_cast<std::ptrdiff_t>(overlap);
       block[i] = (global >= 0 && global < static_cast<std::ptrdiff_t>(x.size()))
                      ? x[static_cast<std::size_t>(global)]
                      : cf{0.0F, 0.0F};
     }
-    fft_.forward(cspan_mut{block});
-    for (std::size_t i = 0; i < fft_size_; ++i) block[i] *= taps_spectrum_[i];
-    fft_.inverse(cspan_mut{block});
-    const std::size_t n_valid = std::min(block_size_, x.size() - pos);
+    plan_->fft.forward(cspan_mut{block});
+    simd::cmul_inplace(block.data(), plan_->taps_spectrum.data(), fft_size);
+    plan_->fft.inverse(cspan_mut{block});
+    const std::size_t n_valid = std::min(block_size, x.size() - pos);
     for (std::size_t i = 0; i < n_valid; ++i) out[pos + i] = block[overlap + i];
   }
 }

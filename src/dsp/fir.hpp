@@ -10,6 +10,8 @@
 ///  * a stateful direct-form filter for streaming use and an
 ///    overlap-save FFT convolver for fast block processing.
 
+#include <memory>
+
 #include "core/contracts.hpp"
 #include "dsp/fft.hpp"
 #include "dsp/types.hpp"
@@ -49,6 +51,24 @@ class FirFilter {
   cvec taps_;
   cvec history_;      ///< doubled delay line: slot i and i + N hold the same sample
   std::size_t head_;  ///< slot (in [0, N)) of the most recent sample
+  cvec ext_;          ///< block-path scratch: history prefix + input, contiguous
+};
+
+/// Immutable, shareable frequency-domain convolution plan: the tap
+/// spectrum plus the FFT geometry derived from the tap count. Building
+/// one costs a forward FFT of the taps; `FftConvolver`s constructed from
+/// the same plan share it by pointer, which is what makes the per-hop
+/// filter-design cache effective — a cache hit re-uses the taps spectrum
+/// instead of re-transforming the taps every packet.
+struct ConvolverPlan {
+  std::size_t num_taps;
+  std::size_t fft_size;
+  std::size_t block_size;
+  Fft fft;
+  cvec taps_spectrum;
+
+  /// Build a plan for a tap set (non-empty, finite).
+  [[nodiscard]] static std::shared_ptr<const ConvolverPlan> make(cspan taps);
 };
 
 /// Overlap-save block convolver. Produces exactly the same output as a
@@ -64,6 +84,10 @@ class FftConvolver {
  public:
   explicit FftConvolver(cspan taps);
 
+  /// Construct from a shared plan (e.g. from the filter-design cache);
+  /// skips the tap-spectrum FFT entirely.
+  explicit FftConvolver(std::shared_ptr<const ConvolverPlan> plan);
+
   /// Causal filtering of a whole buffer.
   [[nodiscard]] cvec filter(cspan x);
 
@@ -71,14 +95,10 @@ class FftConvolver {
   /// allocation-free once `out` has capacity.
   BHSS_HOT void filter(cspan x, cvec& out);
 
-  [[nodiscard]] std::size_t num_taps() const noexcept { return num_taps_; }
+  [[nodiscard]] std::size_t num_taps() const noexcept { return plan_->num_taps; }
 
  private:
-  std::size_t num_taps_;
-  std::size_t fft_size_;
-  std::size_t block_size_;
-  Fft fft_;
-  cvec taps_spectrum_;
+  std::shared_ptr<const ConvolverPlan> plan_;
   cvec work_;  ///< overlap-save block scratch, reused across calls
 };
 

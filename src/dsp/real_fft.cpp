@@ -1,0 +1,38 @@
+#include "dsp/real_fft.hpp"
+
+namespace bhss::dsp {
+
+RealFft::RealFft(std::size_t n) : n_(n), half_(n / 2), full_(n), work_(n / 2) {
+  BHSS_REQUIRE(n >= 4 && (n & (n - 1)) == 0, "RealFft: size must be a power of two >= 4");
+}
+
+void RealFft::forward(fspan x, cspan_mut out) {
+  BHSS_REQUIRE(x.size() == n_, "RealFft::forward: input length must equal the transform size");
+  BHSS_REQUIRE(out.size() == n_ / 2 + 1,
+               "RealFft::forward: output must hold size()/2 + 1 bins");
+  const std::size_t h = n_ / 2;
+
+  // Pack: z[m] = x[2m] + j x[2m+1], one complex FFT of half the size.
+  for (std::size_t m = 0; m < h; ++m) work_[m] = cf{x[2 * m], x[2 * m + 1]};
+  half_.forward(cspan_mut{work_});
+
+  // Recombine. With Z = FFT(z), E[k] = FFT(even), O[k] = FFT(odd):
+  //   E[k] =      (Z[k] + conj(Z[h-k])) / 2
+  //   O[k] = -j * (Z[k] - conj(Z[h-k])) / 2
+  //   X[k] = E[k] + w_N^k * O[k]
+  // where w_N^k is exactly the size-N plan's twiddle table.
+  const cspan tw = full_.twiddles();
+  const cf z0 = work_[0];
+  out[0] = cf{z0.real() + z0.imag(), 0.0F};  // E[0] + O[0]
+  out[h] = cf{z0.real() - z0.imag(), 0.0F};  // E[0] - O[0]  (Nyquist)
+  for (std::size_t k = 1; k < h; ++k) {
+    const cf zk = work_[k];
+    const cf zc = std::conj(work_[h - k]);
+    const cf e{0.5F * (zk.real() + zc.real()), 0.5F * (zk.imag() + zc.imag())};
+    // -j * (zk - zc) / 2: real = (imag diff)/2, imag = -(real diff)/2.
+    const cf o{0.5F * (zk.imag() - zc.imag()), -0.5F * (zk.real() - zc.real())};
+    out[k] = e + tw[k] * o;
+  }
+}
+
+}  // namespace bhss::dsp

@@ -36,6 +36,8 @@ LinkSchema build_link_schema() {
   id.degenerate_psd = r.add_counter("degenerate_psd");
   id.input_scrubbed = r.add_counter("input_scrubbed");
   id.fault_events = r.add_counter("fault_events");
+  id.filter_cache_hits = r.add_counter("filter_cache_hits");
+  id.filter_cache_misses = r.add_counter("filter_cache_misses");
   id.last_sync_quality = r.add_gauge("last_sync_quality");
   id.last_sync_margin = r.add_gauge("last_sync_margin");
   // Occupancy fraction of the slice bandwidth, eq. (10)'s left-hand side.

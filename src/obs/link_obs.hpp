@@ -40,6 +40,8 @@ struct LinkIds {
   std::size_t degenerate_psd = 0;   ///< hops decided via the degenerate-PSD fallback
   std::size_t input_scrubbed = 0;   ///< frames with NaN/Inf samples scrubbed
   std::size_t fault_events = 0;     ///< fault-injector events applied
+  std::size_t filter_cache_hits = 0;    ///< excision designs replayed from the cache
+  std::size_t filter_cache_misses = 0;  ///< excision designs computed and stored
   // gauges
   std::size_t last_sync_quality = 0;
   std::size_t last_sync_margin = 0;

@@ -22,6 +22,9 @@ ChipTable::ChipTable() {
       rows_[s][c] = bit ? -1.0F : 1.0F;
     }
   }
+  for (std::size_t c = 0; c < kChipsPerSymbol; ++c) {
+    for (std::size_t s = 0; s < kNumSymbols; ++s) cols_[c * kNumSymbols + s] = rows_[s][c];
+  }
 }
 
 int ChipTable::cross_correlation(std::uint8_t a, std::uint8_t b) const noexcept {

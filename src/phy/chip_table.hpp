@@ -33,6 +33,12 @@ class ChipTable {
     return rows_[s];
   }
 
+  /// Column-major (structure-of-arrays) view of the table:
+  /// columns()[c * kNumSymbols + s] == sequence(s)[c]. This is the layout
+  /// the vectorized 16-ary despreader wants — chip c of all 16 candidate
+  /// symbols is one contiguous run of 16 floats.
+  [[nodiscard]] BHSS_HOT const float* columns() const noexcept { return cols_.data(); }
+
   /// Normalised cross-correlation (in chips, -32..32) between two rows.
   [[nodiscard]] int cross_correlation(std::uint8_t a, std::uint8_t b) const noexcept;
 
@@ -41,6 +47,7 @@ class ChipTable {
 
  private:
   std::array<ChipSequence, kNumSymbols> rows_;
+  std::array<float, kChipsPerSymbol * kNumSymbols> cols_;  ///< transposed rows_
 };
 
 }  // namespace bhss::phy

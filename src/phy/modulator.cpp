@@ -1,8 +1,8 @@
 #include "phy/modulator.hpp"
 
 #include "core/contracts.hpp"
-#include "dsp/fir.hpp"
 #include "dsp/pulse.hpp"
+#include "dsp/simd/simd.hpp"
 #include "dsp/utils.hpp"
 
 namespace bhss::phy {
@@ -24,10 +24,7 @@ dsp::cvec QpskModulator::modulate(std::span<const float> chips) const {
   for (std::size_t m = 0; m < n_pairs; ++m) {
     const float a = chips[2 * m];      // in-phase chip
     const float b = chips[2 * m + 1];  // quadrature chip
-    const std::size_t start = pulse_len * m;
-    for (std::size_t k = 0; k < pulse_len; ++k) {
-      out[start + k] = dsp::cf{a * pulse_[k], b * pulse_[k]};
-    }
+    dsp::simd::scale_pulse(a, b, pulse_.data(), out.data() + pulse_len * m, pulse_len);
   }
   return out;
 }
@@ -41,6 +38,9 @@ QpskDemodulator::QpskDemodulator(std::size_t samples_per_chip)
   // silently zero every soft chip downstream.
   BHSS_ENSURE(!matched_.empty() && dsp::all_finite(dsp::fspan{matched_}),
               "QpskDemodulator: matched filter taps must be finite");
+  // The decimating demod kernel samples the filter at instant
+  // pulse_len*(m+1)-1 assuming the tap count equals the pulse length.
+  BHSS_ENSURE(matched_.size() == 2 * sps_, "QpskDemodulator: matched filter length must be 2 * sps");
 }
 
 dsp::cvec QpskDemodulator::demodulate_pairs(dsp::cspan samples, std::size_t n_chips) const {
@@ -48,17 +48,17 @@ dsp::cvec QpskDemodulator::demodulate_pairs(dsp::cspan samples, std::size_t n_ch
   BHSS_REQUIRE(samples.size() >= samples_needed(n_chips),
                "QpskDemodulator: not enough samples for requested chips");
 
-  // Matched-filter the segment and sample both rails at the end of each
-  // chip pair (the matched-filter peak of non-overlapping pulses).
-  dsp::FirFilter mf{dsp::fspan{matched_}};
-  const dsp::cvec y = mf.process(samples.first(samples_needed(n_chips)));
-
+  // Matched-filter output at the end of each chip pair only (the
+  // matched-filter peak of non-overlapping pulses). Everything between
+  // the sampling instants is never read, so the decimating kernel skips
+  // computing it: sampling instant m sits at sample pulse_len*(m+1)-1,
+  // which is always >= pulse_len-1, so the zero-state filter start-up
+  // region never reaches a sampled output.
   const std::size_t n_pairs = n_chips / 2;
   const std::size_t pulse_len = 2 * sps_;
   dsp::cvec pairs(n_pairs);
-  for (std::size_t m = 0; m < n_pairs; ++m) {
-    pairs[m] = y[pulse_len * m + pulse_len - 1];
-  }
+  dsp::simd::fir_decimate_real(matched_.data(), pulse_len, samples.data(), pairs.data(), n_pairs,
+                               pulse_len);
   return pairs;
 }
 

@@ -4,6 +4,7 @@
 #include <numbers>
 
 #include "core/contracts.hpp"
+#include "dsp/simd/simd.hpp"
 
 namespace bhss::phy {
 
@@ -82,21 +83,21 @@ DespreadPairsResult Despreader::despread_pairs(dsp::cspan pairs) {
     max_corr += static_cast<double>(std::abs(pairs[m])) * std::numbers::sqrt2;
   }
 
+  // All 16 candidate correlations at once over the column-major chip
+  // table; the reference applied to each pair is conj(se*A + j so*B).
+  // The vectorized kernel accumulates pair index m in the same order as
+  // the per-symbol scalar loop did, so the correlations are bit-identical.
+  std::array<dsp::cf, kNumSymbols> corr;
+  dsp::simd::despread_correlate16(pairs.data(), pairs.size(), se.data(), so.data(),
+                                  ChipTable::instance().columns(), corr.data());
+
   DespreadPairsResult result;
   float best = -std::numeric_limits<float>::infinity();
-  const ChipTable& table = ChipTable::instance();
   for (std::uint8_t s = 0; s < kNumSymbols; ++s) {
-    const ChipSequence& row = table.sequence(s);
-    dsp::cf corr{0.0F, 0.0F};
-    for (std::size_t m = 0; m < pairs.size(); ++m) {
-      // conj(se*A + j so*B) applied to the received pair.
-      const dsp::cf ref{se[m] * row[2 * m], -so[m] * row[2 * m + 1]};
-      corr += pairs[m] * ref;
-    }
-    if (corr.real() > best) {
-      best = corr.real();
+    if (corr[s].real() > best) {
+      best = corr[s].real();
       result.symbol = s;
-      result.correlation = corr;
+      result.correlation = corr[s];
     }
   }
   if (max_corr > 0.0) {

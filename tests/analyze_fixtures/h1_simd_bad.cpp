@@ -1,0 +1,44 @@
+// bhss-analyze fixture: h1-hot-path-purity MUST fire on the vector-layer
+// shape. A BHSS_HOT dispatched kernel allocates a scratch buffer per call
+// instead of using caller-provided storage, and a hot design-cache lookup
+// serialises shards behind a mutex — both are exactly the regressions the
+// real src/dsp/simd kernels and core::FilterDesignCache must never grow.
+#define BHSS_HOT
+#include <complex>
+#include <cstddef>
+#include <mutex>
+#include <vector>
+
+namespace fx {
+
+using cf = std::complex<float>;
+
+BHSS_HOT void fir_kernel(const cf* taps, std::size_t n_taps, const cf* x, cf* out,
+                         std::size_t n_out);
+
+void fir_kernel(const cf* taps, std::size_t n_taps, const cf* x, cf* out, std::size_t n_out) {
+  std::vector<cf> scratch(n_out);  // per-call allocation on the hot path
+  for (std::size_t i = 0; i < n_out; ++i) {
+    cf acc{0.0F, 0.0F};
+    for (std::size_t k = 0; k < n_taps; ++k) acc += taps[k] * x[i + n_taps - 1 - k];
+    scratch[i] = acc;
+  }
+  for (std::size_t i = 0; i < n_out; ++i) out[i] = scratch[i];
+}
+
+class DesignCache {
+ public:
+  BHSS_HOT const std::vector<cf>* find(std::size_t key) noexcept;
+
+ private:
+  std::mutex m_;
+  std::vector<cf> entry_;
+  std::size_t key_ = 0;
+};
+
+const std::vector<cf>* DesignCache::find(std::size_t key) noexcept {
+  std::lock_guard<std::mutex> lock(m_);  // lock on the per-hop lookup path
+  return key == key_ ? &entry_ : nullptr;
+}
+
+}  // namespace fx

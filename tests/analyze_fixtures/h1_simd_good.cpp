@@ -1,0 +1,43 @@
+// bhss-analyze fixture: h1-hot-path-purity must NOT fire on the vector
+// layer done right. The BHSS_HOT kernel writes straight into the caller's
+// buffer (no scratch, no locks), and the per-shard design cache answers a
+// hot lookup from an unordered_map without allocating or locking — the
+// map only grows on the cold insert path.
+#define BHSS_HOT
+#include <complex>
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+namespace fx {
+
+using cf = std::complex<float>;
+
+BHSS_HOT void fir_kernel(const cf* taps, std::size_t n_taps, const cf* x, cf* out,
+                         std::size_t n_out);
+
+void fir_kernel(const cf* taps, std::size_t n_taps, const cf* x, cf* out, std::size_t n_out) {
+  for (std::size_t i = 0; i < n_out; ++i) {
+    cf acc{0.0F, 0.0F};
+    for (std::size_t k = 0; k < n_taps; ++k) acc += taps[k] * x[i + n_taps - 1 - k];
+    out[i] = acc;
+  }
+}
+
+class DesignCache {
+ public:
+  BHSS_HOT const std::vector<cf>* find(std::size_t key) const noexcept;
+
+  // Cold path: designs are stored outside any hot root.
+  void insert(std::size_t key, std::vector<cf> taps) { map_[key] = std::move(taps); }
+
+ private:
+  std::unordered_map<std::size_t, std::vector<cf>> map_;
+};
+
+const std::vector<cf>* DesignCache::find(std::size_t key) const noexcept {
+  const auto it = map_.find(key);
+  return it == map_.end() ? nullptr : &it->second;
+}
+
+}  // namespace fx

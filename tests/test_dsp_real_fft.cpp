@@ -1,0 +1,137 @@
+// RealFft (real-input FFT specialization) against the full complex FFT
+// it replaces, plus welch_psd_real against welch_psd on the same real
+// signal. The split-and-recombine path reorders the arithmetic relative
+// to the complex transform, so the comparison here is a tight relative
+// tolerance (not the bit-exactness the simd suite demands) — RealFft is
+// deliberately NOT wired into any golden-traced path.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <random>
+#include <vector>
+
+#include "dsp/fft.hpp"
+#include "dsp/psd.hpp"
+#include "dsp/real_fft.hpp"
+#include "dsp/types.hpp"
+
+namespace bhss::dsp {
+namespace {
+
+fvec random_real(std::size_t n, unsigned seed) {
+  std::mt19937 gen(seed);
+  std::normal_distribution<float> dist(0.0F, 1.0F);
+  fvec x(n);
+  for (float& v : x) v = dist(gen);
+  return x;
+}
+
+/// Reference half-spectrum via the complex transform.
+cvec reference_spectrum(const fvec& x) {
+  Fft fft(x.size());
+  cvec z(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) z[i] = cf{x[i], 0.0F};
+  fft.forward(cspan_mut{z});
+  return cvec(z.begin(), z.begin() + static_cast<std::ptrdiff_t>(x.size() / 2 + 1));
+}
+
+void expect_close(const cvec& got, const cvec& want, float scale) {
+  ASSERT_EQ(got.size(), want.size());
+  const float tol = 1e-5F * scale;
+  for (std::size_t k = 0; k < got.size(); ++k) {
+    EXPECT_NEAR(got[k].real(), want[k].real(), tol) << "bin " << k;
+    EXPECT_NEAR(got[k].imag(), want[k].imag(), tol) << "bin " << k;
+  }
+}
+
+TEST(RealFft, MatchesComplexFftAcrossSizes) {
+  for (std::size_t n : {std::size_t{4}, std::size_t{8}, std::size_t{64}, std::size_t{256},
+                        std::size_t{1024}}) {
+    const fvec x = random_real(n, 11U + static_cast<unsigned>(n));
+    RealFft rfft(n);
+    cvec got(n / 2 + 1);
+    rfft.forward(fspan{x}, cspan_mut{got});
+    expect_close(got, reference_spectrum(x), std::sqrt(static_cast<float>(n)));
+  }
+}
+
+TEST(RealFft, ImpulseAndDcAreExact) {
+  constexpr std::size_t n = 64;
+  RealFft rfft(n);
+  cvec out(n / 2 + 1);
+
+  fvec impulse(n, 0.0F);
+  impulse[0] = 1.0F;
+  rfft.forward(fspan{impulse}, cspan_mut{out});
+  for (std::size_t k = 0; k <= n / 2; ++k) {
+    EXPECT_NEAR(out[k].real(), 1.0F, 1e-6F) << "bin " << k;
+    EXPECT_NEAR(out[k].imag(), 0.0F, 1e-6F) << "bin " << k;
+  }
+
+  fvec dc(n, 1.0F);
+  rfft.forward(fspan{dc}, cspan_mut{out});
+  EXPECT_NEAR(out[0].real(), static_cast<float>(n), 1e-4F);
+  for (std::size_t k = 1; k <= n / 2; ++k) {
+    EXPECT_NEAR(std::abs(out[k]), 0.0F, 1e-4F) << "bin " << k;
+  }
+}
+
+TEST(RealFft, EdgeBinsAreReal) {
+  // X[0] and X[N/2] of a real signal are real by Hermitian symmetry; the
+  // recombination computes them on a dedicated path — pin it.
+  constexpr std::size_t n = 128;
+  const fvec x = random_real(n, 99U);
+  RealFft rfft(n);
+  cvec out(n / 2 + 1);
+  rfft.forward(fspan{x}, cspan_mut{out});
+  EXPECT_EQ(out[0].imag(), 0.0F);
+  EXPECT_EQ(out[n / 2].imag(), 0.0F);
+}
+
+TEST(RealFft, SingleToneLandsInItsBin) {
+  constexpr std::size_t n = 256;
+  constexpr std::size_t bin = 19;
+  fvec x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = std::cos(2.0F * std::numbers::pi_v<float> * static_cast<float>(bin) *
+                    static_cast<float>(i) / static_cast<float>(n));
+  }
+  RealFft rfft(n);
+  cvec out(n / 2 + 1);
+  rfft.forward(fspan{x}, cspan_mut{out});
+  for (std::size_t k = 0; k <= n / 2; ++k) {
+    const float expected = (k == bin) ? static_cast<float>(n) / 2.0F : 0.0F;
+    EXPECT_NEAR(std::abs(out[k]), expected, 1e-3F) << "bin " << k;
+  }
+}
+
+TEST(WelchPsdReal, MatchesComplexWelchOnRealInput) {
+  for (std::size_t fft_size : {std::size_t{64}, std::size_t{256}}) {
+    const fvec x = random_real(4096, 7U + static_cast<unsigned>(fft_size));
+    cvec xc(x.size());
+    for (std::size_t i = 0; i < x.size(); ++i) xc[i] = cf{x[i], 0.0F};
+
+    const fvec real_psd = welch_psd_real(fspan{x}, fft_size);
+    const fvec cplx_psd = welch_psd(cspan{xc}, fft_size);
+    ASSERT_EQ(real_psd.size(), cplx_psd.size());
+    for (std::size_t k = 0; k < fft_size; ++k) {
+      EXPECT_NEAR(real_psd[k], cplx_psd[k], 1e-4F * (1.0F + cplx_psd[k])) << "bin " << k;
+    }
+  }
+}
+
+TEST(WelchPsdReal, MirrorsNegativeFrequencies) {
+  // A real signal's PSD is even: the mirrored upper half must equal the
+  // computed lower half exactly (the mirror is a copy, not a recompute).
+  constexpr std::size_t fft_size = 128;
+  const fvec x = random_real(2048, 3U);
+  const fvec psd = welch_psd_real(fspan{x}, fft_size);
+  for (std::size_t k = 1; k < fft_size / 2; ++k) {
+    EXPECT_EQ(psd[fft_size - k], psd[k]) << "bin " << k;
+  }
+}
+
+}  // namespace
+}  // namespace bhss::dsp

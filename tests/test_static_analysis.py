@@ -77,6 +77,16 @@ def fixture_tests() -> None:
           r.stdout)
     expect_clean("h1_good.cpp")
 
+    # --- H1 on the vector-layer shape: per-call scratch allocation in a
+    # hot SIMD-style kernel and a mutex in a hot cache lookup must fire;
+    # the caller-buffer kernel + lock-free unordered_map lookup must not
+    # (map_.find on a hot path is a D1 concern, never an H1 one).
+    r = analyze_fixture("h1_simd_bad.cpp")
+    check(r.returncode == 1 and r.stdout.count("[h1-hot-path-purity]") >= 2,
+          "h1_simd_bad.cpp: scratch allocation + cache mutex both fire",
+          f"exit={r.returncode}\n{r.stdout}{r.stderr}")
+    expect_clean("h1_simd_good.cpp")
+
     # --- D1: deterministic fold ---
     expect_fires("d1_bad.cpp", "d1-deterministic-fold")
     expect_clean("d1_good.cpp")
