@@ -58,7 +58,10 @@ namespace bhss::bench {
 /// v4: the canonical link schema gained the filter_cache_{hits,misses}
 /// counters (excision design cache), so `O` records and --metrics lines
 /// carry two more tokens/keys.
-inline constexpr std::size_t kSchemaVersion = 4;
+/// v5: closed-loop adaptation — `S` records grew six adapt_* taxonomy
+/// fields (14 -> 20 tokens) and the link schema gained four adapt_*
+/// counters, one adapt_state gauge and two trace event types.
+inline constexpr std::size_t kSchemaVersion = 5;
 
 /// Exit status of a gracefully drained (SIGINT/SIGTERM) checkpointed
 /// campaign: the run is incomplete but everything finished is journaled —
@@ -99,9 +102,11 @@ struct Options {
   }
 };
 
-inline Options parse_options(int argc, char** argv, std::size_t default_packets = 12) {
+inline Options parse_options(int argc, char** argv, std::size_t default_packets = 12,
+                             double default_jnr_db = 30.0) {
   Options opt;
   opt.packets = default_packets;
+  opt.jnr_db = default_jnr_db;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--packets=", 10) == 0) {
       opt.packets = static_cast<std::size_t>(std::strtoull(argv[i] + 10, nullptr, 10));

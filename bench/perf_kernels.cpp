@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "adapt/jam_detector.hpp"
 #include "channel/link_channel.hpp"
 #include "core/control_logic.hpp"
 #include "core/link_simulator.hpp"
@@ -446,6 +447,34 @@ void BM_RunLinkTelemetry(benchmark::State& state) {
 }
 BENCHMARK(BM_RunLinkTelemetry)->Arg(1)->Arg(8)->Unit(benchmark::kMillisecond);
 
+/// Same simulation as BM_RunLink with the closed-loop resilience
+/// controller enabled (small detector window so the loop actually trips
+/// and republishes hop plans), so the adaptation overhead — detector
+/// updates, reweighting, pattern rebuilds on epoch change — is the delta
+/// to BM_RunLink at the same thread count.
+void BM_RunLinkAdapt(benchmark::State& state) {
+  const auto n_threads = static_cast<std::size_t>(state.range(0));
+  runtime::ParallelLinkRunner runner({.n_threads = n_threads, .n_shards = 16});
+  core::SimConfig cfg;
+  cfg.payload_len = 4;
+  cfg.n_packets = 16;
+  cfg.snr_db = 12.0;
+  cfg.jnr_db = 20.0;
+  cfg.jammer.kind = core::JammerSpec::Kind::fixed_bandwidth;
+  cfg.jammer.bandwidth_frac = 0.1;
+  cfg.adapt.enabled = true;
+  cfg.adapt.detector.window_packets = 4;
+  cfg.adapt.detector.trip_windows = 1;
+  cfg.adapt.detector.clear_windows = 1;
+  for (auto _ : state) {
+    const core::LinkStats s = runner.run(cfg);
+    benchmark::DoNotOptimize(s.ok);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(cfg.n_packets));
+}
+BENCHMARK(BM_RunLinkAdapt)->Arg(1)->Arg(8)->Unit(benchmark::kMillisecond);
+
 /// Raw cost of one counter bump + one histogram observe on the canonical
 /// link schema — the per-site price paid inside the hop loop.
 void BM_MetricsShardObserve(benchmark::State& state) {
@@ -479,6 +508,23 @@ void BM_TracePush(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_TracePush);
+
+/// Raw cost of the resilience controller's per-packet detector hot path:
+/// one note_hop (suspicion bump) plus one note_packet (window update) —
+/// the price the closed loop adds per delivered packet before any plan
+/// republish happens.
+void BM_AdaptDetectorNote(benchmark::State& state) {
+  adapt::JamDetector det(adapt::JamDetectorConfig{}, 8);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    det.note_hop(i & 7U, (i & 3U) == 0);
+    const adapt::WindowVerdict v = det.note_packet((i & 5U) != 0, false);
+    benchmark::DoNotOptimize(v.closed);
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AdaptDetectorNote);
 
 // --------------------------------------------------- build-flavour guard
 

@@ -13,6 +13,14 @@ Modes:
   perf_compare.py RESULTS.json --baseline P    gate against P
   perf_compare.py RESULTS.json --calibrate     rewrite the baseline from RESULTS
 
+`--baseline` may be given several times to gate one results file against
+multiple committed baselines in a single invocation; `--tolerance` is
+then either given once (applied to every baseline) or once per baseline,
+paired in order. CI uses this to gate the kernel baseline at 15 % and
+the observability/adaptation baseline (BENCH_obs.json) at its tighter
+2 % unobserved-hot-path budget in one pass. `--calibrate` refuses to run
+with more than one baseline: recalibration is a deliberate, per-file act.
+
 Both the gate and --calibrate refuse results whose embedded
 `bhss_build_flavor` context (stamped by perf_kernels' custom main) is not
 "release": debug or sanitizer numbers are meaningless as perf data.
@@ -56,38 +64,17 @@ def check_flavor(context: dict, what: str) -> list[str]:
     return []
 
 
-def main() -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("results", type=Path, help="fresh perf_kernels JSON export")
-    parser.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE,
-                        help=f"baseline to gate against (default {DEFAULT_BASELINE.name})")
-    parser.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE,
-                        help="allowed fractional slowdown before failing (default 0.15)")
-    parser.add_argument("--calibrate", action="store_true",
-                        help="rewrite the baseline from the results instead of gating")
-    args = parser.parse_args()
-
-    fresh, fresh_ctx = load_rows(args.results)
-    if not fresh:
-        print(f"error: no benchmark rows in {args.results}", file=sys.stderr)
-        return 2
-    for note in check_flavor(fresh_ctx, str(args.results)):
-        print(note)
-
-    if args.calibrate:
-        args.baseline.write_text(Path(args.results).read_text())
-        print(f"calibrated: {args.baseline} <- {args.results} ({len(fresh)} rows)")
-        return 0
-
-    base, base_ctx = load_rows(args.baseline)
-    for note in check_flavor(base_ctx, str(args.baseline)):
+def gate(fresh: dict[str, float], baseline: Path, tolerance: float) -> int:
+    base, base_ctx = load_rows(baseline)
+    for note in check_flavor(base_ctx, str(baseline)):
         print(note)
 
     shared = sorted(set(fresh) & set(base))
     only_fresh = sorted(set(fresh) - set(base))
     only_base = sorted(set(base) - set(fresh))
     if not shared:
-        print("error: baseline and results share no benchmark names", file=sys.stderr)
+        print(f"error: {baseline} and results share no benchmark names",
+              file=sys.stderr)
         return 2
 
     failures: list[str] = []
@@ -95,7 +82,7 @@ def main() -> int:
     for name in shared:
         ratio = fresh[name] / base[name] if base[name] > 0.0 else float("inf")
         verdict = "ok"
-        if ratio > 1.0 + args.tolerance:
+        if ratio > 1.0 + tolerance:
             verdict = "REGRESSED"
             failures.append(name)
         print(f"  {name:<{width}}  {base[name]:>12.1f} -> {fresh[name]:>12.1f} ns "
@@ -107,12 +94,62 @@ def main() -> int:
 
     if failures:
         print(f"\n{len(failures)} benchmark(s) regressed beyond "
-              f"{args.tolerance:.0%}: {', '.join(failures)}", file=sys.stderr)
+              f"{tolerance:.0%} of {baseline.name}: {', '.join(failures)}",
+              file=sys.stderr)
         print("If the slowdown is intended, re-record with --calibrate on an "
               "idle machine and commit the new baseline.", file=sys.stderr)
         return 1
-    print(f"\nall {len(shared)} shared benchmarks within {args.tolerance:.0%} of baseline")
+    print(f"\nall {len(shared)} shared benchmarks within {tolerance:.0%} "
+          f"of {baseline.name}")
     return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("results", type=Path, help="fresh perf_kernels JSON export")
+    parser.add_argument("--baseline", type=Path, action="append", default=None,
+                        help="baseline to gate against; repeatable "
+                             f"(default {DEFAULT_BASELINE.name})")
+    parser.add_argument("--tolerance", type=float, action="append", default=None,
+                        help="allowed fractional slowdown before failing; one "
+                             "value for all baselines or one per --baseline, "
+                             f"paired in order (default {DEFAULT_TOLERANCE})")
+    parser.add_argument("--calibrate", action="store_true",
+                        help="rewrite the baseline from the results instead of gating")
+    args = parser.parse_args()
+
+    baselines: list[Path] = args.baseline or [DEFAULT_BASELINE]
+    tolerances: list[float] = args.tolerance or [DEFAULT_TOLERANCE]
+    if len(tolerances) == 1:
+        tolerances = tolerances * len(baselines)
+    if len(tolerances) != len(baselines):
+        print(f"error: {len(baselines)} baseline(s) but {len(tolerances)} "
+              "tolerance(s); give one tolerance for all or one per baseline",
+              file=sys.stderr)
+        return 2
+
+    fresh, fresh_ctx = load_rows(args.results)
+    if not fresh:
+        print(f"error: no benchmark rows in {args.results}", file=sys.stderr)
+        return 2
+    for note in check_flavor(fresh_ctx, str(args.results)):
+        print(note)
+
+    if args.calibrate:
+        if len(baselines) != 1:
+            print("error: --calibrate takes exactly one --baseline; "
+                  "recalibrate each file in its own invocation", file=sys.stderr)
+            return 2
+        baselines[0].write_text(Path(args.results).read_text())
+        print(f"calibrated: {baselines[0]} <- {args.results} ({len(fresh)} rows)")
+        return 0
+
+    worst = 0
+    for baseline, tolerance in zip(baselines, tolerances):
+        if len(baselines) > 1:
+            print(f"\n== {baseline.name} (tolerance {tolerance:.0%}) ==")
+        worst = max(worst, gate(fresh, baseline, tolerance))
+    return worst
 
 
 if __name__ == "__main__":

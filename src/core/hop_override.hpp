@@ -1,0 +1,29 @@
+#pragma once
+
+/// @file hop_override.hpp
+/// Link-layer override of the hop plan for one frame. The adaptation
+/// loop (src/adapt) steers the hop distribution and dwell away from a
+/// jammer; the PHY stays oblivious — transmitter and receiver simply
+/// accept an optional replacement pattern/dwell and both derive the
+/// schedule from it with the *same* shared-random draw, so the two ends
+/// stay in lockstep exactly as they do on the configured plan. (In a
+/// deployment the adaptation decision rides the shared secret the same
+/// way the hop sequence does, §4.1 — both ends compute it from acked
+/// telemetry, so no extra coordination traffic is modelled here.)
+
+#include <cstddef>
+
+#include "core/hop_pattern.hpp"
+
+namespace bhss::core {
+
+/// Borrowed, all-default = "use the SystemConfig plan". A non-null
+/// pattern must be built over the same BandwidthSet as the config's
+/// (same levels in the same order); symbols_per_hop == 0 keeps the
+/// configured dwell.
+struct HopOverride {
+  const HopPattern* pattern = nullptr;
+  std::size_t symbols_per_hop = 0;
+};
+
+}  // namespace bhss::core

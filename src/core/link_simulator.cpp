@@ -7,6 +7,9 @@
 
 #include "channel/link_channel.hpp"
 #include "fault/fault_injector.hpp"
+#include "jammer/band_sweep_jammer.hpp"
+#include "jammer/duty_cycle_jammer.hpp"
+#include "jammer/estimating_jammer.hpp"
 #include "jammer/hopping_jammer.hpp"
 #include "jammer/noise_jammer.hpp"
 #include "jammer/reactive_jammer.hpp"
@@ -34,13 +37,24 @@ class JammerBox {
         break;
       }
       case JammerSpec::Kind::reactive:
-        reactive_.emplace(bands.bandwidth_fracs(), spec.reaction_delay, spec.seed);
+        reactive_.emplace(bands.bandwidth_fracs(), spec.reaction_delay, spec.seed,
+                          spec.estimation_samples);
         break;
       case JammerSpec::Kind::tone:
         tone_.emplace(spec.tone_freqs, spec.seed);
         break;
       case JammerSpec::Kind::swept:
         swept_.emplace(spec.sweep_lo, spec.sweep_hi, spec.sweep_samples, spec.seed);
+        break;
+      case JammerSpec::Kind::duty_cycle:
+        duty_.emplace(spec.bandwidth_frac, spec.duty_period, spec.duty_fraction, spec.seed);
+        break;
+      case JammerSpec::Kind::band_sweep:
+        band_sweep_.emplace(spec.sweep_lo, spec.sweep_hi, spec.sweep_steps, spec.dwell_samples,
+                            spec.sweep_bw_frac, spec.seed);
+        break;
+      case JammerSpec::Kind::estimating:
+        estimating_.emplace(bands.bandwidth_fracs(), spec.estimation_hops, spec.seed);
         break;
     }
   }
@@ -62,6 +76,14 @@ class JammerBox {
         return tone_->generate(total_len);
       case JammerSpec::Kind::swept:
         return swept_->generate(total_len);
+      case JammerSpec::Kind::duty_cycle:
+        return duty_->generate(total_len);
+      case JammerSpec::Kind::band_sweep:
+        return band_sweep_->generate(total_len);
+      case JammerSpec::Kind::estimating: {
+        const auto hops = tx.schedule.observed_hops(bands, delay);
+        return estimating_->generate(hops, total_len);
+      }
     }
     return {};
   }
@@ -73,6 +95,9 @@ class JammerBox {
   std::optional<jammer::ReactiveJammer> reactive_;
   std::optional<jammer::ToneJammer> tone_;
   std::optional<jammer::SweptJammer> swept_;
+  std::optional<jammer::DutyCycleJammer> duty_;
+  std::optional<jammer::BandSweepJammer> band_sweep_;
+  std::optional<jammer::EstimatingJammer> estimating_;
 };
 
 }  // namespace
@@ -92,6 +117,18 @@ LinkStats run_link_shard(const SimConfig& cfg, std::size_t first_packet,
   const double sample_rate = cfg.system.pattern.bands().sample_rate_hz();
   const bool genie = cfg.system.sync == SyncMode::genie;
 
+  // Closed-loop resilience: one controller per shard, fed strictly in
+  // packet order. The adapted HopPattern is rebuilt only when the plan
+  // epoch moves; epoch 0 means "exactly the base plan", so a nominal or
+  // fully recovered link takes the no-override path and is bit-identical
+  // to a run with adaptation disabled.
+  std::optional<adapt::ResilienceController> ctrl;
+  std::optional<HopPattern> adapted_pattern;
+  std::uint32_t adapted_epoch = 0;
+  if (cfg.adapt.enabled && cfg.system.hopping) {
+    ctrl.emplace(cfg.adapt, cfg.system.pattern.probabilities(), cfg.system.symbols_per_hop);
+  }
+
   LinkStats stats;
   for (std::size_t pkt = first_packet; pkt < first_packet + n_packets; ++pkt) {
     // Deterministic, packet-dependent payload.
@@ -100,7 +137,17 @@ LinkStats run_link_shard(const SimConfig& cfg, std::size_t first_packet,
       payload[j] = static_cast<std::uint8_t>((pkt * 31 + j * 7 + 13) & 0xFF);
     }
 
-    const Transmission t = tx.transmit(payload, pkt);
+    HopOverride ov;
+    if (ctrl.has_value() && ctrl->plan().epoch != 0) {
+      if (!adapted_pattern.has_value() || adapted_epoch != ctrl->plan().epoch) {
+        adapted_pattern = HopPattern::custom(cfg.system.pattern.bands(), ctrl->plan().probs);
+        adapted_epoch = ctrl->plan().epoch;
+      }
+      ov.pattern = &*adapted_pattern;
+      ov.symbols_per_hop = ctrl->plan().symbols_per_hop;
+    }
+
+    const Transmission t = tx.transmit(payload, pkt, ov);
 
     // Channel realisation.
     channel::LinkConfig link;
@@ -133,7 +180,7 @@ LinkStats run_link_shard(const SimConfig& cfg, std::size_t first_packet,
 
     const std::size_t search_window = link.tx_delay + cfg.max_delay / 4 + 64;
     const RxResult res =
-        rx.receive(rx_signal, pkt, cfg.payload_len, search_window, link.tx_delay, o);
+        rx.receive(rx_signal, pkt, cfg.payload_len, search_window, link.tx_delay, o, ov);
 
     ++stats.packets;
     stats.airtime_s += static_cast<double>(t.samples.size()) / sample_rate;
@@ -169,6 +216,32 @@ LinkStats run_link_shard(const SimConfig& cfg, std::size_t first_packet,
       if (res.symbols[s] != t.symbols[s]) ++stats.symbol_errors;
     }
     stats.symbol_errors += t.symbols.size() - n;  // undecoded symbols count as errors
+
+    if (ctrl.has_value()) {
+      // Per-hop eq. (10) outcomes are the detector's spectral evidence,
+      // but only for packets the link actually lost: a filter decision on
+      // a *delivered* packet means the excision won, and punishing that
+      // bandwidth would steer the distribution away from exactly the hops
+      // the receiver can save. A hop implicates its bandwidth index when
+      // the control logic saw jamming (filtered or degenerate PSD) AND
+      // the packet still failed.
+      const bool lost = !delivered || res.sync_lost;
+      for (const HopDiagnostics& h : res.hops) {
+        ctrl->note_hop(h.bw_index,
+                       lost && (h.filter != FilterDecision::Kind::none || h.degenerate_psd));
+      }
+      ctrl->on_packet({delivered, res.sync_lost, pkt}, o);
+    }
+  }
+
+  if (ctrl.has_value()) {
+    const adapt::AdaptCounters& c = ctrl->counters();
+    stats.adapt_transitions = c.transitions;
+    stats.adapt_jam_episodes = c.jam_episodes;
+    stats.adapt_fallbacks = c.fallbacks;
+    stats.adapt_recoveries = c.recoveries;
+    stats.adapt_windows_jammed = c.windows_jammed;
+    stats.adapt_packets_adapted = c.packets_adapted;
   }
 
   if (stats.airtime_s > 0.0) {
@@ -201,6 +274,12 @@ LinkStats merge_link_stats(const std::vector<LinkStats>& shards, std::size_t pay
     total.faults_injected += s.faults_injected;
     total.shard_timeout += s.shard_timeout;
     total.shard_retried += s.shard_retried;
+    total.adapt_transitions += s.adapt_transitions;
+    total.adapt_jam_episodes += s.adapt_jam_episodes;
+    total.adapt_fallbacks += s.adapt_fallbacks;
+    total.adapt_recoveries += s.adapt_recoveries;
+    total.adapt_windows_jammed += s.adapt_windows_jammed;
+    total.adapt_packets_adapted += s.adapt_packets_adapted;
   }
   if (total.airtime_s > 0.0) {
     total.throughput_bps =

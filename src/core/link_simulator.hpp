@@ -10,6 +10,7 @@
 #include <functional>
 #include <vector>
 
+#include "adapt/resilience_controller.hpp"
 #include "core/receiver.hpp"
 #include "core/system_config.hpp"
 #include "core/transmitter.hpp"
@@ -27,18 +28,28 @@ struct JammerSpec {
     reactive,         ///< matches the observed bandwidth after a delay (§2)
     tone,             ///< CW tone(s) — the classic excision target [3]-[7]
     swept,            ///< carrier sweeping across the band
+    duty_cycle,       ///< pulsed bursts, unit average power
+    band_sweep,       ///< shaped-noise band stepping across the channel
+    estimating,       ///< learns the hop distribution, jams the mode
   };
 
   Kind kind = Kind::none;
-  double bandwidth_frac = 0.5;       ///< fixed_bandwidth: fraction of Rs
+  double bandwidth_frac = 0.5;       ///< fixed_bandwidth/duty_cycle: fraction of Rs
   std::vector<double> hop_probs;     ///< hopping: distribution over the
                                      ///< system's bandwidth set
   std::size_t dwell_samples = 8192;  ///< hopping: samples per jammer hop
   std::size_t reaction_delay = 4096; ///< reactive: tau in samples
   std::vector<double> tone_freqs = {0.01};  ///< tone: cycles/sample
-  double sweep_lo = -0.25;           ///< swept: band edges [cycles/sample]
+  double sweep_lo = -0.25;           ///< swept/band_sweep: band edges [cycles/sample]
   double sweep_hi = 0.25;
   std::size_t sweep_samples = 65536; ///< swept: samples per full sweep
+  std::size_t duty_period = 16384;   ///< duty_cycle: samples per on/off period
+  double duty_fraction = 0.5;        ///< duty_cycle: on-fraction, in (0, 1]
+  std::size_t sweep_steps = 8;       ///< band_sweep: dwell positions per sweep
+  double sweep_bw_frac = 0.05;       ///< band_sweep: occupied bandwidth per dwell
+  std::size_t estimation_hops = 64;  ///< estimating: observations before targeting
+  std::size_t estimation_samples = 0;  ///< reactive: sensing latency per hop
+                                       ///< (0 = ideal instantaneous sensing)
   std::uint64_t seed = 99;           ///< jammer-private randomness
 };
 
@@ -60,6 +71,15 @@ struct SimConfig {
   /// sequence is a pure function of (faults.seed, global packet index),
   /// so sharding and thread count cannot change it.
   fault::FaultConfig faults{};
+
+  /// Closed-loop resilience (src/adapt). Off by default. When enabled,
+  /// each shard runs its own ResilienceController fed strictly in packet
+  /// order, so the adapted stream stays a pure function of
+  /// (SimConfig, shard boundaries) — bit-identical at any thread count.
+  /// Note the per-shard scope: the detector only sees its own shard's
+  /// packets, so detection windows must be small relative to packets per
+  /// shard for adaptation to engage in sharded runs.
+  adapt::AdaptConfig adapt{};
 };
 
 /// Aggregated link statistics.
@@ -87,6 +107,15 @@ struct LinkStats {
   // timed out at least once but succeeded on a deterministic retry.
   std::size_t shard_timeout = 0;  ///< shards quarantined after watchdog timeouts
   std::size_t shard_retried = 0;  ///< shards recovered by a retry attempt
+
+  // Closed-loop adaptation taxonomy (src/adapt): what the resilience
+  // controller did, summed across shards like everything above.
+  std::size_t adapt_transitions = 0;     ///< state-machine edges taken
+  std::size_t adapt_jam_episodes = 0;    ///< entries into DEGRADED
+  std::size_t adapt_fallbacks = 0;       ///< entries into FALLBACK
+  std::size_t adapt_recoveries = 0;      ///< completed returns to NOMINAL
+  std::size_t adapt_windows_jammed = 0;  ///< detector windows that tripped
+  std::size_t adapt_packets_adapted = 0; ///< packets sent under a non-base plan
 
   [[nodiscard]] double per() const noexcept {
     return packets == 0 ? 1.0

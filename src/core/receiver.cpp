@@ -80,17 +80,24 @@ dsp::cvec BhssReceiver::filtered_slice(dsp::cspan buffer, std::size_t a0, std::s
 
 RxResult BhssReceiver::receive(dsp::cspan rx, std::uint64_t frame_counter,
                                std::size_t payload_len, std::size_t search_window,
-                               std::size_t genie_frame_start, const obs::LinkObs& o) const {
+                               std::size_t genie_frame_start, const obs::LinkObs& o,
+                               const HopOverride& ov) const {
   BHSS_TRACE_SCOPE(o.trace, obs::TraceScopeId::receive);
   RxResult result;
 
-  // Mirror the transmitter's per-frame derivations.
+  // Mirror the transmitter's per-frame derivations (including any
+  // adaptation-layer override — both ends hold the same plan).
   SharedRandom rng = SharedRandom::for_frame(config_.seed, frame_counter);
   const std::uint32_t scrambler_seed = rng.derive_scrambler_seed();
   const std::size_t total_symbols = phy::FrameSpec::total_symbols(payload_len);
+  const HopPattern& pattern = ov.pattern != nullptr ? *ov.pattern : config_.pattern;
+  const std::size_t symbols_per_hop =
+      ov.symbols_per_hop != 0 ? ov.symbols_per_hop : config_.symbols_per_hop;
+  BHSS_REQUIRE(pattern.bands().size() == config_.pattern.bands().size(),
+               "BhssReceiver: hop override must cover the configured bandwidth set");
   const HopSchedule schedule =
       config_.hopping
-          ? HopSchedule::make(total_symbols, config_.symbols_per_hop, config_.pattern, rng)
+          ? HopSchedule::make(total_symbols, symbols_per_hop, pattern, rng)
           : HopSchedule::fixed(total_symbols, config_.pattern.bands(), config_.fixed_bw_index);
 
   // Front-end boundary: a corrupted capture (NaN/Inf words from a faulted

@@ -13,6 +13,7 @@
 /// data-aided from the preamble (§6.1), performed on filtered samples so
 /// the jammer cannot blind it.
 
+#include "core/hop_override.hpp"
 #include "core/hop_schedule.hpp"
 #include "core/system_config.hpp"
 #include "dsp/types.hpp"
@@ -66,10 +67,13 @@ class BhssReceiver {
   /// @param o                 optional telemetry hooks (metrics + trace);
   ///                          decoding is bit-identical with or without
   ///                          them — instrumentation only observes
+  /// @param ov                optional hop-plan override; must match the
+  ///                          override the transmitter used for this frame
   [[nodiscard]] RxResult receive(dsp::cspan rx, std::uint64_t frame_counter,
                                  std::size_t payload_len, std::size_t search_window,
                                  std::size_t genie_frame_start = 0,
-                                 const obs::LinkObs& o = {}) const;
+                                 const obs::LinkObs& o = {},
+                                 const HopOverride& ov = {}) const;
 
   [[nodiscard]] const SystemConfig& config() const noexcept { return config_; }
   [[nodiscard]] const ControlLogic& control_logic() const noexcept { return logic_; }

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "core/contracts.hpp"
 #include "phy/frame.hpp"
 #include "phy/modulator.hpp"
 #include "phy/spreader.hpp"
@@ -50,16 +51,22 @@ dsp::cvec BhssTransmitter::modulate_symbols(std::span<const std::uint8_t> symbol
 }
 
 Transmission BhssTransmitter::transmit(std::span<const std::uint8_t> payload,
-                                       std::uint64_t frame_counter) const {
+                                       std::uint64_t frame_counter,
+                                       const HopOverride& ov) const {
   SharedRandom rng = SharedRandom::for_frame(config_.seed, frame_counter);
   const std::uint32_t scrambler_seed = rng.derive_scrambler_seed();
+
+  const HopPattern& pattern = ov.pattern != nullptr ? *ov.pattern : config_.pattern;
+  const std::size_t symbols_per_hop =
+      ov.symbols_per_hop != 0 ? ov.symbols_per_hop : config_.symbols_per_hop;
+  BHSS_REQUIRE(pattern.bands().size() == config_.pattern.bands().size(),
+               "BhssTransmitter: hop override must cover the configured bandwidth set");
 
   Transmission tx;
   tx.frame_counter = frame_counter;
   tx.symbols = phy::build_frame_symbols(payload);
   tx.schedule = config_.hopping
-                    ? HopSchedule::make(tx.symbols.size(), config_.symbols_per_hop,
-                                        config_.pattern, rng)
+                    ? HopSchedule::make(tx.symbols.size(), symbols_per_hop, pattern, rng)
                     : HopSchedule::fixed(tx.symbols.size(), config_.pattern.bands(),
                                          config_.fixed_bw_index);
   tx.samples = modulate_symbols(tx.symbols, tx.symbols.size(), tx.schedule, scrambler_seed);

@@ -10,6 +10,7 @@
 #include <span>
 #include <vector>
 
+#include "core/hop_override.hpp"
 #include "core/hop_schedule.hpp"
 #include "core/system_config.hpp"
 #include "dsp/types.hpp"
@@ -31,9 +32,12 @@ class BhssTransmitter {
  public:
   explicit BhssTransmitter(SystemConfig config);
 
-  /// Build the waveform for one payload.
+  /// Build the waveform for one payload. `ov` optionally replaces the
+  /// configured hop pattern/dwell for this frame (adaptation layer); the
+  /// receiver must be handed the same override for the same frame.
   [[nodiscard]] Transmission transmit(std::span<const std::uint8_t> payload,
-                                      std::uint64_t frame_counter) const;
+                                      std::uint64_t frame_counter,
+                                      const HopOverride& ov = {}) const;
 
   /// Modulate an explicit symbol stream with an explicit schedule — the
   /// receiver reuses this to regenerate the reference preamble waveform.

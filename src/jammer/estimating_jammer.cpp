@@ -1,0 +1,67 @@
+#include "jammer/estimating_jammer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/contracts.hpp"
+
+namespace bhss::jammer {
+
+EstimatingJammer::EstimatingJammer(std::vector<double> available_bws, std::size_t estimation_hops,
+                                   std::uint64_t seed)
+    : available_bws_(std::move(available_bws)), estimation_hops_(estimation_hops) {
+  BHSS_REQUIRE(!available_bws_.empty(), "EstimatingJammer: need at least one bandwidth");
+  BHSS_REQUIRE(estimation_hops_ >= 1, "EstimatingJammer: need at least one observation");
+  sources_.reserve(available_bws_.size());
+  for (std::size_t i = 0; i < available_bws_.size(); ++i) {
+    sources_.emplace_back(available_bws_[i], seed * 0xD1B54A32D192ED03ULL + i + 1);
+  }
+  counts_.assign(available_bws_.size(), 0);
+  // Until the histogram matures, spend the budget on the widest band —
+  // the same prior the plain reactive jammer starts from.
+  target_ = static_cast<std::size_t>(
+      std::distance(available_bws_.begin(),
+                    std::max_element(available_bws_.begin(), available_bws_.end())));
+}
+
+std::size_t EstimatingJammer::closest_bw_index(double bw) const noexcept {
+  std::size_t best = 0;
+  double best_dist = std::abs(std::log(available_bws_[0]) - std::log(bw));
+  for (std::size_t i = 1; i < available_bws_.size(); ++i) {
+    const double d = std::abs(std::log(available_bws_[i]) - std::log(bw));
+    if (d < best_dist) {
+      best_dist = d;
+      best = i;
+    }
+  }
+  return best;
+}
+
+dsp::cvec EstimatingJammer::generate(std::span<const ObservedHop> hops, std::size_t n) {
+  // Output strictly before updating: this transmission is jammed with the
+  // estimate learned from *previous* transmissions only.
+  dsp::cvec out = sources_[target_].generate(n);
+
+  for (const ObservedHop& hop : hops) {
+    ++counts_[closest_bw_index(hop.bandwidth_frac)];
+  }
+  observed_ += hops.size();
+
+  if (observed_ >= estimation_hops_) {
+    // Mode of the histogram; ties break to the lowest index so the
+    // estimate is a pure function of the observation multiset.
+    target_ = static_cast<std::size_t>(
+        std::distance(counts_.begin(), std::max_element(counts_.begin(), counts_.end())));
+  }
+  // Exponential forgetting: once the window holds twice the maturity
+  // horizon, halve everything. Keeps the estimator tracking a victim
+  // that re-weights its distribution instead of averaging over eras.
+  if (observed_ > 2 * estimation_hops_) {
+    for (std::uint64_t& c : counts_) c >>= 1U;
+    observed_ = 0;
+    for (const std::uint64_t c : counts_) observed_ += c;
+  }
+  return out;
+}
+
+}  // namespace bhss::jammer

@@ -25,26 +25,42 @@ struct ObservedHop {
 /// jamming at the last bandwidth it reacted to (initially the widest
 /// available), so a non-hopping victim stays matched from the second
 /// frame on while a hopping victim is always chased one reaction behind.
+///
+/// Sensing is not free: the jammer must *observe* a hop for
+/// `estimation_samples` before its bandwidth estimate exists at all, and
+/// only then does the `reaction_delay` (decision + retune) clock start.
+/// A hop whose dwell is shorter than the estimation latency is never
+/// estimated — the jammer deterministically ignores it (no timeline
+/// entry, no carry-over) rather than reacting to a measurement it could
+/// not have made. `estimation_samples == 0` reproduces the historical
+/// ideal-sensing behaviour exactly.
 class ReactiveJammer {
  public:
-  /// @param available_bws   bandwidths the jammer can produce (fractions
-  ///                        of Rs); the observed value snaps to the closest
-  /// @param reaction_delay  tau in samples
-  /// @param seed            rng seed
+  /// @param available_bws       bandwidths the jammer can produce
+  ///                            (fractions of Rs); the observed value
+  ///                            snaps to the closest
+  /// @param reaction_delay      tau in samples (decision + retune)
+  /// @param seed                rng seed
+  /// @param estimation_samples  samples of a hop the jammer must see
+  ///                            before its bandwidth estimate is usable;
+  ///                            0 = ideal instantaneous sensing
   ReactiveJammer(std::vector<double> available_bws, std::size_t reaction_delay,
-                 std::uint64_t seed);
+                 std::uint64_t seed, std::size_t estimation_samples = 0);
 
   /// Generate `n` samples of unit-power jamming that tracks `hops`
-  /// (sorted by start) with the configured reaction delay.
+  /// (sorted ascending by start — BHSS_REQUIREd) with the configured
+  /// estimation + reaction latency.
   [[nodiscard]] dsp::cvec generate(std::span<const ObservedHop> hops, std::size_t n);
 
   [[nodiscard]] std::size_t reaction_delay() const noexcept { return reaction_delay_; }
+  [[nodiscard]] std::size_t estimation_samples() const noexcept { return estimation_samples_; }
 
  private:
   [[nodiscard]] std::size_t closest_bw_index(double bw) const noexcept;
 
   std::vector<double> available_bws_;
   std::size_t reaction_delay_;
+  std::size_t estimation_samples_;
   std::vector<NoiseJammer> sources_;
   std::size_t current_bw_index_;  ///< idle bandwidth carried across calls
 };

@@ -38,8 +38,13 @@ LinkSchema build_link_schema() {
   id.fault_events = r.add_counter("fault_events");
   id.filter_cache_hits = r.add_counter("filter_cache_hits");
   id.filter_cache_misses = r.add_counter("filter_cache_misses");
+  id.adapt_windows = r.add_counter("adapt_windows");
+  id.adapt_windows_jammed = r.add_counter("adapt_windows_jammed");
+  id.adapt_transitions = r.add_counter("adapt_transitions");
+  id.adapt_packets_adapted = r.add_counter("adapt_packets_adapted");
   id.last_sync_quality = r.add_gauge("last_sync_quality");
   id.last_sync_margin = r.add_gauge("last_sync_margin");
+  id.adapt_state = r.add_gauge("adapt_state");
   // Occupancy fraction of the slice bandwidth, eq. (10)'s left-hand side.
   id.est_jammer_bw = r.add_histogram(
       "est_jammer_bw", {0.0, 0.05, 0.1, 0.15, 0.2, 0.3, 0.4, 0.5, 0.7, 1.0});
@@ -106,6 +111,16 @@ const char* sync_outcome_name(std::uint8_t flag) noexcept {
     case 0: return "miss";
     case 1: return "lock";
     case 2: return "cfar_reject";
+    default: return "unknown";
+  }
+}
+
+const char* adapt_state_name(std::uint8_t flag) noexcept {
+  switch (flag) {
+    case 0: return "nominal";
+    case 1: return "degraded";
+    case 2: return "fallback";
+    case 3: return "recovering";
     default: return "unknown";
   }
 }
@@ -451,6 +466,23 @@ std::string trace_event_json_body(const TraceEvent& ev) {
       field_d("sync_attempts", ev.v0);
       field_d("filter_fallbacks", ev.v1);
       field_d("detected", ev.v2);
+      break;
+    case TraceEventType::adapt_window:
+      field_u64("window", ev.hop);
+      field_u64("jammed", ev.flag);
+      field_d("bad_frac", ev.v0);
+      field_d("threshold", ev.v1);
+      field_d("bad", ev.v2);
+      field_d("streak", ev.v3);
+      break;
+    case TraceEventType::adapt_transition:
+      field_u64("window", ev.hop);
+      out += ",\"to\":\"";
+      out += adapt_state_name(ev.flag);
+      out += '"';
+      field_d("from", ev.v0);
+      field_d("symbols_per_hop", ev.v1);
+      field_d("epoch", ev.v2);
       break;
   }
   return out;

@@ -42,9 +42,14 @@ struct LinkIds {
   std::size_t fault_events = 0;     ///< fault-injector events applied
   std::size_t filter_cache_hits = 0;    ///< excision designs replayed from the cache
   std::size_t filter_cache_misses = 0;  ///< excision designs computed and stored
+  std::size_t adapt_windows = 0;          ///< jam-detector windows closed
+  std::size_t adapt_windows_jammed = 0;   ///< windows that crossed the trip thresholds
+  std::size_t adapt_transitions = 0;      ///< resilience state-machine edges taken
+  std::size_t adapt_packets_adapted = 0;  ///< packets sent under a non-base hop plan
   // gauges
   std::size_t last_sync_quality = 0;
   std::size_t last_sync_margin = 0;
+  std::size_t adapt_state = 0;  ///< current LinkAdaptState ordinal
   // histograms
   std::size_t est_jammer_bw = 0;  ///< estimated jammer occupancy (fraction of band)
   std::size_t inband_peak_db = 0; ///< in-band peak-over-median (dB)

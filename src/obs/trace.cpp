@@ -12,6 +12,8 @@ const char* trace_event_name(TraceEventType type) noexcept {
     case TraceEventType::sync_loss: return "sync_loss";
     case TraceEventType::fault_applied: return "fault";
     case TraceEventType::packet_done: return "packet_done";
+    case TraceEventType::adapt_window: return "adapt_window";
+    case TraceEventType::adapt_transition: return "adapt_transition";
   }
   return "unknown";
 }

@@ -40,8 +40,10 @@ enum class TraceEventType : std::uint8_t {
   sync_loss,         ///< all acquisition attempts exhausted
   fault_applied,     ///< fault injector mutated the capture
   packet_done,       ///< end-of-packet summary
+  adapt_window,      ///< jam-detector window closed
+  adapt_transition,  ///< resilience state machine changed state
 };
-inline constexpr std::size_t kNumTraceEventTypes = 6;
+inline constexpr std::size_t kNumTraceEventTypes = 8;
 
 /// Stable lowercase name used as the JSONL "event" value.
 [[nodiscard]] const char* trace_event_name(TraceEventType type) noexcept;
@@ -65,6 +67,13 @@ inline constexpr std::size_t kNumTraceEventTypes = 6;
 ///    packet's plan, v0 = offset, v1 = length, v2 = magnitude.
 ///  - packet_done: flag = delivered (CRC ok), hop = hops demodulated,
 ///    v0 = sync attempts, v1 = filter fallbacks, v2 = frame detected.
+///  - adapt_window: flag = window jammed, hop = window ordinal, packet =
+///    closing packet, v0 = bad fraction, v1 = trip threshold, v2 = bad
+///    packets, v3 = jammed-window streak.
+///  - adapt_transition: flag = new LinkAdaptState ordinal (0 nominal /
+///    1 degraded / 2 fallback / 3 recovering), hop = window ordinal,
+///    v0 = previous state ordinal, v1 = new symbols_per_hop, v2 = new
+///    plan epoch.
 struct TraceEvent {
   TraceEventType type = TraceEventType::hop_decision;
   std::uint8_t flag = 0;

@@ -156,6 +156,12 @@ std::uint64_t CampaignRunner::params_hash(const core::SimConfig& cfg,
   h.f64(jam.sweep_lo);
   h.f64(jam.sweep_hi);
   h.u64(jam.sweep_samples);
+  h.u64(jam.duty_period);
+  h.f64(jam.duty_fraction);
+  h.u64(jam.sweep_steps);
+  h.f64(jam.sweep_bw_frac);
+  h.u64(jam.estimation_hops);
+  h.u64(jam.estimation_samples);
   h.u64(jam.seed);
 
   h.f64(cfg.snr_db);
@@ -186,6 +192,23 @@ std::uint64_t CampaignRunner::params_hash(const core::SimConfig& cfg,
   h.f64(f.cfo_step_max);
   h.f64(f.p_corrupt);
   h.u64(f.corrupt_max);
+
+  const adapt::AdaptConfig& a = cfg.adapt;
+  h.u64(a.enabled ? 1 : 0);
+  h.u64(a.detector.window_packets);
+  h.f64(a.detector.bad_fraction);
+  h.u64(a.detector.min_bad);
+  h.u64(a.detector.trip_windows);
+  h.u64(a.detector.clear_windows);
+  h.f64(a.adapter.deweight);
+  h.u64(a.adapter.deweight_cap);
+  h.f64(a.adapter.min_occupancy);
+  h.f64(a.adapter.recover_step);
+  h.f64(a.adapter.snap_tolerance);
+  h.u64(a.fallback_windows);
+  h.u64(a.recovery_windows);
+  h.u64(a.min_symbols_per_hop);
+  h.u64(a.degraded_dwell_shift);
 
   h.u64(n_shards);
   return h.digest();

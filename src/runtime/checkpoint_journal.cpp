@@ -56,14 +56,17 @@ std::string point_key(const JournalKey& key) {
 /// statistics bit for bit, and "%.17g" round-trips are one parser bug away
 /// from silently breaking that.
 std::string format_stats(const core::LinkStats& s) {
-  char buf[400];
+  char buf[512];
   std::snprintf(buf, sizeof(buf),
-                "%zu %zu %zu %zu %zu %016" PRIx64 " %016" PRIx64 " %zu %zu %zu %zu %zu %zu %zu",
+                "%zu %zu %zu %zu %zu %016" PRIx64 " %016" PRIx64
+                " %zu %zu %zu %zu %zu %zu %zu %zu %zu %zu %zu %zu %zu",
                 s.packets, s.detected, s.ok, s.symbol_errors, s.total_symbols,
                 std::bit_cast<std::uint64_t>(s.airtime_s),
                 std::bit_cast<std::uint64_t>(s.throughput_bps), s.sync_lost, s.reacquired,
                 s.filter_fallback, s.corrupt_input_rejected, s.faults_injected,
-                s.shard_timeout, s.shard_retried);
+                s.shard_timeout, s.shard_retried, s.adapt_transitions, s.adapt_jam_episodes,
+                s.adapt_fallbacks, s.adapt_recoveries, s.adapt_windows_jammed,
+                s.adapt_packets_adapted);
   return buf;
 }
 
@@ -71,11 +74,15 @@ bool parse_stats(const char* text, core::LinkStats& s) {
   std::uint64_t airtime_bits = 0;
   std::uint64_t throughput_bits = 0;
   const int n = std::sscanf(
-      text, "%zu %zu %zu %zu %zu %" SCNx64 " %" SCNx64 " %zu %zu %zu %zu %zu %zu %zu",
+      text,
+      "%zu %zu %zu %zu %zu %" SCNx64 " %" SCNx64 " %zu %zu %zu %zu %zu %zu %zu %zu %zu %zu %zu "
+      "%zu %zu",
       &s.packets, &s.detected, &s.ok, &s.symbol_errors, &s.total_symbols, &airtime_bits,
       &throughput_bits, &s.sync_lost, &s.reacquired, &s.filter_fallback,
-      &s.corrupt_input_rejected, &s.faults_injected, &s.shard_timeout, &s.shard_retried);
-  if (n != 14) return false;
+      &s.corrupt_input_rejected, &s.faults_injected, &s.shard_timeout, &s.shard_retried,
+      &s.adapt_transitions, &s.adapt_jam_episodes, &s.adapt_fallbacks, &s.adapt_recoveries,
+      &s.adapt_windows_jammed, &s.adapt_packets_adapted);
+  if (n != 20) return false;
   s.airtime_s = std::bit_cast<double>(airtime_bits);
   s.throughput_bps = std::bit_cast<double>(throughput_bits);
   return true;

@@ -1,0 +1,56 @@
+// bhss-analyze fixture: h1-hot-path-purity MUST fire on the adapt-layer
+// shape. The closed-loop controller's per-packet/per-hop feeds
+// (JamDetector::note_packet / note_hop in src/adapt) are BHSS_HOT: they
+// run once per packet inside every shard worker. This fixture grows the
+// two regressions that contract forbids — a per-packet window buffer
+// allocation, and a suspicion table guarded by a mutex (the real
+// controller is per-shard, so locking the note path would serialise the
+// Monte-Carlo workers for nothing).
+#define BHSS_HOT
+#include <cstddef>
+#include <mutex>
+#include <vector>
+
+namespace fx {
+
+struct WindowVerdict {
+  bool closed = false;
+  bool jammed = false;
+};
+
+class JamDetector {
+ public:
+  explicit JamDetector(std::size_t window) : window_(window) {}
+
+  BHSS_HOT WindowVerdict note_packet(bool delivered, bool sync_lost);
+  BHSS_HOT void note_hop(std::size_t bw_index, bool filtered);
+
+ private:
+  std::size_t window_;
+  std::vector<bool> outcomes_;
+  std::mutex m_;
+  std::vector<std::size_t> suspicion_;
+};
+
+WindowVerdict JamDetector::note_packet(bool delivered, bool sync_lost) {
+  std::vector<bool> merged(outcomes_);  // per-packet copy of the window
+  merged.push_back(!delivered || sync_lost);
+  outcomes_ = merged;
+  WindowVerdict v;
+  if (outcomes_.size() >= window_) {
+    std::size_t bad = 0;
+    for (const bool b : outcomes_) bad += b ? 1U : 0U;
+    v.closed = true;
+    v.jammed = 2 * bad >= window_;
+    outcomes_.clear();
+  }
+  return v;
+}
+
+void JamDetector::note_hop(std::size_t bw_index, bool filtered) {
+  std::lock_guard<std::mutex> lock(m_);  // lock on the per-hop feed
+  if (bw_index >= suspicion_.size()) suspicion_.resize(bw_index + 1);
+  if (filtered) ++suspicion_[bw_index];
+}
+
+}  // namespace fx

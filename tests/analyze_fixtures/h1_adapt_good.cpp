@@ -1,0 +1,67 @@
+// bhss-analyze fixture: h1-hot-path-purity must NOT fire on the adapt
+// layer done right. The per-packet/per-hop feeds touch only preallocated
+// fixed-size state (integer counters, a suspicion table sized once in the
+// constructor); the reweighted probability vector is rebuilt exclusively
+// on the cold window-close path, outside any BHSS_HOT root — exactly how
+// src/adapt keeps the controller free of the shard workers' critical
+// path.
+#define BHSS_HOT
+#include <cstddef>
+#include <vector>
+
+namespace fx {
+
+struct WindowVerdict {
+  bool closed = false;
+  bool jammed = false;
+};
+
+class JamDetector {
+ public:
+  JamDetector(std::size_t window, std::size_t n_bands)
+      : window_(window), suspicion_(n_bands, 0) {}
+
+  BHSS_HOT WindowVerdict note_packet(bool delivered, bool sync_lost) noexcept;
+  BHSS_HOT void note_hop(std::size_t bw_index, bool filtered) noexcept;
+
+  // Cold path: runs once per closed window, never under a hot root.
+  std::vector<double> reweighted(const std::vector<double>& base) const;
+
+ private:
+  std::size_t window_;
+  std::size_t seen_ = 0;
+  std::size_t bad_ = 0;
+  std::vector<std::size_t> suspicion_;
+};
+
+WindowVerdict JamDetector::note_packet(bool delivered, bool sync_lost) noexcept {
+  ++seen_;
+  if (!delivered || sync_lost) ++bad_;
+  WindowVerdict v;
+  if (seen_ >= window_) {
+    v.closed = true;
+    v.jammed = 2 * bad_ >= window_;
+    seen_ = 0;
+    bad_ = 0;
+  }
+  return v;
+}
+
+void JamDetector::note_hop(std::size_t bw_index, bool filtered) noexcept {
+  if (filtered && bw_index < suspicion_.size()) ++suspicion_[bw_index];
+}
+
+std::vector<double> JamDetector::reweighted(const std::vector<double>& base) const {
+  std::vector<double> probs(base);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < probs.size(); ++i) {
+    for (std::size_t k = 0; k < suspicion_[i]; ++k) probs[i] *= 0.5;
+    sum += probs[i];
+  }
+  if (sum > 0.0) {
+    for (double& p : probs) p /= sum;
+  }
+  return probs;
+}
+
+}  // namespace fx

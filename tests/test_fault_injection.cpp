@@ -242,5 +242,84 @@ TEST(FaultedLink, ClockJumpsAreReacquiredAndRecoveryBeatsSingleShot) {
   EXPECT_TRUE(stats_finite(single_shot));
 }
 
+// ------------------------------------------------- adversary x fault overlap
+
+// The reactive jammer re-tunes at every hop boundary (hop.start +
+// estimation_samples + reaction_delay); with per-packet fault rates at 1.0
+// every capture also takes a transient fault, so fault windows and jammer
+// transitions overlap constantly. These pins freeze the merged failure
+// taxonomy for that combined stress: any change to fault ordering, jammer
+// timeline arithmetic, or the receiver's scrub/reacquire paths shows up as
+// an exact count diff, not a vague PER drift.
+
+core::SimConfig reactive_faulted_link() {
+  core::SimConfig cfg;
+  cfg.system.sync = core::SyncMode::preamble;
+  cfg.snr_db = 18.0;
+  cfg.jnr_db = 12.0;
+  cfg.n_packets = 32;
+  cfg.channel_seed = 11;
+  cfg.jammer.kind = core::JammerSpec::Kind::reactive;
+  cfg.jammer.estimation_samples = 1024;  // sensing latency: re-tunes mid-hop
+  cfg.jammer.reaction_delay = 1024;
+  return cfg;
+}
+
+TEST(FaultedLink, ClockJumpsAcrossReactiveJammerHopBoundaries) {
+  core::SimConfig cfg = reactive_faulted_link();
+  cfg.faults.p_clock_jump = 1.0;
+
+  const core::LinkStats s = core::run_link(cfg);
+  EXPECT_TRUE(stats_finite(s));
+
+  // Pinned taxonomy (recorded from this exact config; update only with an
+  // understood semantic change, never to silence a diff).
+  EXPECT_EQ(s.packets, 32U);
+  EXPECT_EQ(s.faults_injected, 32U);
+  EXPECT_EQ(s.detected, 31U);
+  EXPECT_EQ(s.ok, 2U);
+  EXPECT_EQ(s.sync_lost, 1U);
+  EXPECT_EQ(s.reacquired, 7U);
+  EXPECT_EQ(s.corrupt_input_rejected, 0U);
+
+  // The combined stress stays inside the determinism contract: 8 threads
+  // reproduce the sequential taxonomy bit for bit.
+  runtime::RunnerOptions eight;
+  eight.n_threads = 8;
+  eight.n_shards = 8;
+  runtime::RunnerOptions one;
+  one.n_threads = 1;
+  one.n_shards = 8;
+  const core::LinkStats a = runtime::ParallelLinkRunner(one).run(cfg);
+  const core::LinkStats b = runtime::ParallelLinkRunner(eight).run(cfg);
+  EXPECT_EQ(a.ok, b.ok);
+  EXPECT_EQ(a.sync_lost, b.sync_lost);
+  EXPECT_EQ(a.reacquired, b.reacquired);
+  EXPECT_EQ(a.faults_injected, b.faults_injected);
+  EXPECT_EQ(a.symbol_errors, b.symbol_errors);
+}
+
+TEST(FaultedLink, NaNBurstsAcrossReactiveJammerHopBoundaries) {
+  // NaN corruption overlapping the jammer's re-tune points must never
+  // reach the demodulator: every poisoned capture is scrubbed (the bad
+  // samples excised, not the whole capture dropped), and the scrub
+  // decision cannot depend on where the jammer happened to sit.
+  core::SimConfig cfg = reactive_faulted_link();
+  cfg.faults.p_corrupt = 1.0;
+  cfg.faults.p_burst = 1.0;
+
+  const core::LinkStats s = core::run_link(cfg);
+  EXPECT_TRUE(stats_finite(s));
+
+  EXPECT_EQ(s.packets, 32U);
+  EXPECT_EQ(s.corrupt_input_rejected, 32U);
+  EXPECT_EQ(s.faults_injected, 64U);
+  EXPECT_EQ(s.detected, 32U);
+  EXPECT_EQ(s.ok, 5U);
+  EXPECT_EQ(s.sync_lost, 0U);
+  EXPECT_EQ(s.symbol_errors, 151U);
+  EXPECT_EQ(s.total_symbols, 1024U);
+}
+
 }  // namespace
 }  // namespace bhss::fault

@@ -101,6 +101,8 @@ TEST(ObsTrace, EventNamesAreStable) {
   EXPECT_STREQ(obs::trace_event_name(TraceEventType::sync_loss), "sync_loss");
   EXPECT_STREQ(obs::trace_event_name(TraceEventType::fault_applied), "fault");
   EXPECT_STREQ(obs::trace_event_name(TraceEventType::packet_done), "packet_done");
+  EXPECT_STREQ(obs::trace_event_name(TraceEventType::adapt_window), "adapt_window");
+  EXPECT_STREQ(obs::trace_event_name(TraceEventType::adapt_transition), "adapt_transition");
 }
 
 // The JSONL emitters promise byte-stable rendering: equal event bits must

@@ -63,6 +63,12 @@ void expect_identical(const core::LinkStats& a, const core::LinkStats& b) {
   EXPECT_EQ(a.faults_injected, b.faults_injected);
   EXPECT_EQ(a.shard_timeout, b.shard_timeout);
   EXPECT_EQ(a.shard_retried, b.shard_retried);
+  EXPECT_EQ(a.adapt_transitions, b.adapt_transitions);
+  EXPECT_EQ(a.adapt_jam_episodes, b.adapt_jam_episodes);
+  EXPECT_EQ(a.adapt_fallbacks, b.adapt_fallbacks);
+  EXPECT_EQ(a.adapt_recoveries, b.adapt_recoveries);
+  EXPECT_EQ(a.adapt_windows_jammed, b.adapt_windows_jammed);
+  EXPECT_EQ(a.adapt_packets_adapted, b.adapt_packets_adapted);
 }
 
 core::LinkStats sample_stats(std::size_t salt) {
@@ -81,6 +87,12 @@ core::LinkStats sample_stats(std::size_t salt) {
   s.faults_injected = 5;
   s.shard_timeout = 0;
   s.shard_retried = salt % 2;
+  s.adapt_transitions = 4 * salt;
+  s.adapt_jam_episodes = salt;
+  s.adapt_fallbacks = salt / 3;
+  s.adapt_recoveries = salt % 2;
+  s.adapt_windows_jammed = 2 * salt;
+  s.adapt_packets_adapted = 7 + salt;
   return s;
 }
 

@@ -87,6 +87,16 @@ def fixture_tests() -> None:
           f"exit={r.returncode}\n{r.stdout}{r.stderr}")
     expect_clean("h1_simd_good.cpp")
 
+    # --- H1 on the adapt-layer shape: a per-packet window-buffer copy in
+    # the hot note_packet feed and a mutex on the per-hop suspicion update
+    # must fire; counter-only feeds with the probability rebuild kept on
+    # the cold window-close path must not.
+    r = analyze_fixture("h1_adapt_bad.cpp")
+    check(r.returncode == 1 and r.stdout.count("[h1-hot-path-purity]") >= 2,
+          "h1_adapt_bad.cpp: window-copy allocation + suspicion mutex both fire",
+          f"exit={r.returncode}\n{r.stdout}{r.stderr}")
+    expect_clean("h1_adapt_good.cpp")
+
     # --- D1: deterministic fold ---
     expect_fires("d1_bad.cpp", "d1-deterministic-fold")
     expect_clean("d1_good.cpp")
