@@ -1,0 +1,124 @@
+#!/usr/bin/env bash
+# Deterministic chaos harness for the distributed campaign layer.
+#
+# Proves the fleet-level crash-recovery guarantee end to end on a real
+# bench binary:
+#   1. reference run, 1 thread, no checkpointing, no fleet -> ref.jsonl
+#   2. supervised fleet (--supervise=N) with scripted worker SIGKILLs
+#      (--chaos-kill=W:K,... — worker W SIGKILLs itself after journaling
+#      its K-th shard, first incarnation only). The supervisor respawns
+#      the killed workers with --resume, merges the per-worker journals
+#      into the canonical journal, and publishes through the ordinary
+#      single-process path                                 -> chaos.jsonl
+#   3. assert chaos.jsonl (and --metrics/--trace telemetry) is
+#      BYTE-identical to the reference (cmp)
+#   4. drain phase: a fresh supervised fleet is SIGTERMed mid-flight; it
+#      must exit with the resumable status (75), and re-running the same
+#      supervised command must resume the merged journal and again
+#      reproduce the reference bytes.
+#
+# The chaos schedule is deterministic (fixed worker:shard-count pairs, no
+# timers), so every run kills the same work units — failures reproduce.
+#
+# Usage: chaos_campaign.sh [bench-binary] [packets]
+# Env:   WORKERS (default 4), CHAOS (default "0:1,2:2"), DRAIN_AFTER_S
+#        (default 1 — SIGTERM delay for the drain phase; the fleet is
+#        killed mid-flight only if it is still running, otherwise the
+#        drain degenerates to a full replay, which must still be
+#        byte-identical).
+
+set -euo pipefail
+
+BENCH="${1:-build/bench/adapt_scenarios}"
+PACKETS="${2:-240}"
+WORKERS="${WORKERS:-4}"
+CHAOS="${CHAOS:-0:1,2:2}"
+DRAIN_AFTER_S="${DRAIN_AFTER_S:-1}"
+EXIT_RESUMABLE=75
+
+if [[ ! -x "$BENCH" ]]; then
+  echo "chaos_campaign: bench binary not found: $BENCH" >&2
+  exit 2
+fi
+BENCH="$(readlink -f "$BENCH")"
+
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+cd "$WORK"
+
+echo "== reference run (1 thread, single process)"
+"$BENCH" --packets="$PACKETS" --threads=1 --json=ref.jsonl \
+  --metrics=ref_metrics.jsonl --trace=ref_trace.jsonl >/dev/null
+[[ -s ref.jsonl ]] || { echo "FAIL: reference produced no JSONL" >&2; exit 1; }
+
+echo "== supervised fleet ($WORKERS workers) with chaos kills ($CHAOS)"
+"$BENCH" --packets="$PACKETS" --threads=2 --supervise="$WORKERS" \
+  --chaos-kill="$CHAOS" --checkpoint=chaos.ckpt --json=chaos.jsonl \
+  --metrics=chaos_metrics.jsonl --trace=chaos_trace.jsonl \
+  >chaos.out 2>chaos.err || {
+  echo "FAIL: supervised chaos run did not complete (see below)" >&2
+  cat chaos.err >&2
+  exit 1
+}
+grep -q '"worker_crashes"' chaos.err || {
+  echo "FAIL: fleet taxonomy not reported on stderr" >&2
+  cat chaos.err >&2
+  exit 1
+}
+echo "   fleet: $(grep -o 'fleet {.*' chaos.err | head -1)"
+
+cmp ref.jsonl chaos.jsonl || {
+  echo "FAIL: supervised+chaos JSONL differs from the single-process reference" >&2
+  exit 1
+}
+cmp ref_metrics.jsonl chaos_metrics.jsonl || {
+  echo "FAIL: supervised+chaos metrics differ from the single-process reference" >&2
+  exit 1
+}
+cmp ref_trace.jsonl chaos_trace.jsonl || {
+  echo "FAIL: supervised+chaos trace differs from the single-process reference" >&2
+  exit 1
+}
+echo "   supervised+chaos JSONL + metrics + trace byte-identical to the reference"
+
+echo "== drain phase: SIGTERM the supervisor after ${DRAIN_AFTER_S}s"
+rm -f drain.jsonl drain_metrics.jsonl drain_trace.jsonl
+"$BENCH" --packets="$PACKETS" --threads=2 --supervise="$WORKERS" \
+  --checkpoint=drain.ckpt --json=drain.jsonl \
+  --metrics=drain_metrics.jsonl --trace=drain_trace.jsonl \
+  >/dev/null 2>drain.err &
+PID=$!
+sleep "$DRAIN_AFTER_S"
+if kill -TERM "$PID" 2>/dev/null; then
+  wait "$PID" && rc=0 || rc=$?
+  [[ "$rc" -eq "$EXIT_RESUMABLE" ]] || {
+    echo "FAIL: expected resumable exit $EXIT_RESUMABLE after SIGTERM, got $rc" >&2
+    cat drain.err >&2
+    exit 1
+  }
+  [[ ! -f drain.jsonl ]] || { echo "FAIL: drained fleet published a JSONL" >&2; exit 1; }
+  echo "   fleet drained with resumable exit status"
+else
+  wait "$PID" || true
+  echo "   fleet finished before the drain — resume degenerates to a full replay"
+fi
+
+echo "== resume the drained fleet"
+"$BENCH" --packets="$PACKETS" --threads=2 --supervise="$WORKERS" \
+  --resume=drain.ckpt --json=drain.jsonl \
+  --metrics=drain_metrics.jsonl --trace=drain_trace.jsonl >/dev/null 2>&1
+cmp ref.jsonl drain.jsonl || {
+  echo "FAIL: drained+resumed fleet JSONL differs from the reference" >&2
+  exit 1
+}
+cmp ref_metrics.jsonl drain_metrics.jsonl || {
+  echo "FAIL: drained+resumed fleet metrics differ from the reference" >&2
+  exit 1
+}
+cmp ref_trace.jsonl drain_trace.jsonl || {
+  echo "FAIL: drained+resumed fleet trace differs from the reference" >&2
+  exit 1
+}
+echo "   drained+resumed fleet byte-identical to the reference"
+
+echo "PASS: supervised fleet under chaos kills and drain/resume reproduces the reference bytes"

@@ -117,4 +117,34 @@ cmp ref_trace.jsonl int_trace.jsonl || {
 }
 echo "   drained+resumed JSONL + metrics + trace byte-identical to the reference"
 
-echo "PASS: kill/resume and drain/resume both reproduce the reference bytes (incl. telemetry)"
+echo "== supervised fleet (2 workers), worker 0 chaos-SIGKILLed after its first shard"
+# Same byte-identity bar for the distributed path: the supervisor respawns
+# the killed worker with --resume, merges the per-worker journals into the
+# canonical journal and publishes through the ordinary single-process
+# path. Runs the same ASan-instrumented binary as the phases above, so
+# worker crash/respawn and the journal merge are exercised under the
+# sanitizer too.
+rm -f fleet.jsonl fleet.ckpt* fleet_metrics.jsonl fleet_trace.jsonl
+"$BENCH" --packets="$PACKETS" --threads=2 --supervise=2 --chaos-kill=0:1 \
+  --checkpoint=fleet.ckpt --json=fleet.jsonl \
+  --metrics=fleet_metrics.jsonl --trace=fleet_trace.jsonl \
+  >/dev/null 2>fleet.err || {
+  echo "FAIL: supervised fleet run did not complete" >&2
+  cat fleet.err >&2
+  exit 1
+}
+cmp ref.jsonl fleet.jsonl || {
+  echo "FAIL: supervised fleet JSONL differs from the reference" >&2
+  exit 1
+}
+cmp ref_metrics.jsonl fleet_metrics.jsonl || {
+  echo "FAIL: supervised fleet metrics differ from the reference" >&2
+  exit 1
+}
+cmp ref_trace.jsonl fleet_trace.jsonl || {
+  echo "FAIL: supervised fleet trace differs from the reference" >&2
+  exit 1
+}
+echo "   supervised fleet JSONL + metrics + trace byte-identical to the reference"
+
+echo "PASS: kill/resume, drain/resume and the supervised fleet all reproduce the reference bytes (incl. telemetry)"

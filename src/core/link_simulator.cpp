@@ -274,6 +274,9 @@ LinkStats merge_link_stats(const std::vector<LinkStats>& shards, std::size_t pay
     total.faults_injected += s.faults_injected;
     total.shard_timeout += s.shard_timeout;
     total.shard_retried += s.shard_retried;
+    total.worker_restarts += s.worker_restarts;
+    total.worker_crashes += s.worker_crashes;
+    total.worker_drains += s.worker_drains;
     total.adapt_transitions += s.adapt_transitions;
     total.adapt_jam_episodes += s.adapt_jam_episodes;
     total.adapt_fallbacks += s.adapt_fallbacks;

@@ -108,6 +108,16 @@ struct LinkStats {
   std::size_t shard_timeout = 0;  ///< shards quarantined after watchdog timeouts
   std::size_t shard_retried = 0;  ///< shards recovered by a retry attempt
 
+  // Distributed-fleet taxonomy (runtime::CampaignSupervisor): how worker
+  // *processes* behaved while the campaign fanned out. Exit codes map to
+  // distinct counters — a graceful drain (exit 75) is recoverable and
+  // expected under SIGTERM; a crash (signal or nonzero exit) consumed a
+  // restart budget; a restart is the supervisor respawning a worker after
+  // a crash or hang. Summed across merges like everything above.
+  std::size_t worker_restarts = 0;  ///< worker processes respawned (crash/hang retry)
+  std::size_t worker_crashes = 0;   ///< worker exits by signal or nonzero status
+  std::size_t worker_drains = 0;    ///< workers that drained gracefully (exit 75)
+
   // Closed-loop adaptation taxonomy (src/adapt): what the resilience
   // controller did, summed across shards like everything above.
   std::size_t adapt_transitions = 0;     ///< state-machine edges taken

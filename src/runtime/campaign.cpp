@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 #include <chrono>
+#include <atomic>
 #include <csignal>
 #include <cstdio>
 #include <future>
@@ -17,12 +18,19 @@ namespace {
 
 // ------------------------------------------------------------ drain request
 
-/// Async-signal-safe drain flag. SIGINT/SIGTERM only set it; the campaign
-/// polls it at shard boundaries, so in-flight shards drain instead of
-/// dying mid-write.
-volatile std::sig_atomic_t g_interrupt = 0;
+/// Drain flag, set from signal handlers (SIGINT/SIGTERM) and from
+/// ordinary threads (request_interrupt — the supervisor's drain path and
+/// tests). A lock-free atomic is async-signal-safe AND thread-safe;
+/// plain sig_atomic_t would be a data race for the cross-thread case.
+/// The campaign polls it at shard boundaries, so in-flight shards drain
+/// instead of dying mid-write.
+std::atomic<int> g_interrupt{0};
+static_assert(std::atomic<int>::is_always_lock_free,
+              "drain flag must stay usable from a signal handler");
 
-void handle_drain_signal(int /*signum*/) { g_interrupt = 1; }
+void handle_drain_signal(int /*signum*/) {
+  g_interrupt.store(1, std::memory_order_relaxed);
+}
 
 // ------------------------------------------------------ abandoned threads
 
@@ -89,9 +97,15 @@ void CampaignRunner::install_signal_handlers() noexcept {
   std::signal(SIGTERM, &handle_drain_signal);
 }
 
-void CampaignRunner::request_interrupt() noexcept { g_interrupt = 1; }
-void CampaignRunner::clear_interrupt() noexcept { g_interrupt = 0; }
-bool CampaignRunner::interrupt_requested() noexcept { return g_interrupt != 0; }
+void CampaignRunner::request_interrupt() noexcept {
+  g_interrupt.store(1, std::memory_order_relaxed);
+}
+void CampaignRunner::clear_interrupt() noexcept {
+  g_interrupt.store(0, std::memory_order_relaxed);
+}
+bool CampaignRunner::interrupt_requested() noexcept {
+  return g_interrupt.load(std::memory_order_relaxed) != 0;
+}
 
 void CampaignRunner::join_abandoned_threads() {
   for (;;) {
@@ -218,6 +232,7 @@ CampaignRunner::CampaignRunner(CampaignOptions options, CheckpointJournal* journ
     : options_(options), pool_(options.n_threads), journal_(journal) {
   BHSS_REQUIRE(options_.n_shards >= 1, "CampaignRunner: n_shards must be >= 1");
   BHSS_REQUIRE(options_.max_attempts >= 1, "CampaignRunner: max_attempts must be >= 1");
+  options_.partition.validate();
 }
 
 core::LinkStats CampaignRunner::run_point(const std::string& point_id,
@@ -235,6 +250,10 @@ core::LinkStats CampaignRunner::run_point(const std::string& point_id,
   std::size_t quarantined = 0;
   std::vector<std::size_t> pending;
   for (std::size_t shard = 0; shard < n_shards; ++shard) {
+    // Fleet mode: shards owned by other workers are neither simulated nor
+    // looked up — they stay default in `slots`, making this worker's
+    // merge partial (see run_point's contract note in the header).
+    if (!options_.partition.owns(shard)) continue;
     if (journal_ != nullptr) {
       if (const core::LinkStats* done = journal_->find_shard(key, shard)) {
         if (want_obs) {
@@ -308,6 +327,7 @@ void CampaignRunner::execute_pooled(const JournalKey& key, const core::SimConfig
       } else {
         journal_->record_shard(key, shard, slots[shard]);
       }
+      if (shard_journaled_hook) shard_journaled_hook(shard);
     }
   });
   for (const std::uint8_t s : skipped) {
@@ -402,6 +422,7 @@ void CampaignRunner::execute_watchdogged(const JournalKey& key, const core::SimC
             } else {
               journal_->record_shard(key, flight.shard, slots[flight.shard]);
             }
+            if (shard_journaled_hook) shard_journaled_hook(flight.shard);
           }
           if (timed_out_before[flight.shard] != 0) ++retried_shards;
         } else {
@@ -426,6 +447,10 @@ void CampaignRunner::execute_watchdogged(const JournalKey& key, const core::SimC
 double CampaignRunner::min_snr_for_per(const std::string& point_id,
                                        const core::SimConfig& cfg, double target_per,
                                        double lo_db, double hi_db, double tol_db) {
+  BHSS_REQUIRE(!options_.partition.distributed(),
+               "CampaignRunner: min_snr_for_per cannot run on a worker slice — "
+               "partial-shard PER would steer each worker down a different bisection "
+               "path; compute bisections in the supervisor's final pass");
   std::size_t probe = 0;
   return core::min_snr_for_per(
       cfg,

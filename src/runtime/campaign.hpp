@@ -38,6 +38,7 @@
 
 #include "core/link_simulator.hpp"
 #include "runtime/checkpoint_journal.hpp"
+#include "runtime/distributed/shard_partition.hpp"
 #include "runtime/parallel_link_runner.hpp"
 #include "runtime/thread_pool.hpp"
 
@@ -45,13 +46,17 @@ namespace bhss::runtime {
 
 /// Campaign knobs. As with RunnerOptions, `n_shards` is part of the
 /// experiment identity; everything else only changes wall time or failure
-/// handling.
+/// handling. `partition` selects this process's slice of the shard set in
+/// a distributed fleet (shard_partition.hpp) — it is NOT part of the
+/// experiment identity either: the params hash covers `n_shards` only, so
+/// worker journals merge cleanly back into the single-process keyspace.
 struct CampaignOptions {
   std::size_t n_threads = 0;     ///< total concurrency; 0 = hardware threads
   std::size_t n_shards = 16;     ///< fixed shard count (>= 1)
   double shard_timeout_s = 0.0;  ///< watchdog budget per shard attempt; 0 = off
   std::size_t max_attempts = 3;  ///< attempts per shard before quarantine
   double backoff_base_s = 0.05;  ///< retry backoff: base * 2^(attempt-1)
+  distributed::ShardPartition partition{};  ///< this process's shard slice
 };
 
 /// Thrown when a drain was requested (SIGINT/SIGTERM or programmatic):
@@ -75,6 +80,12 @@ class CampaignRunner {
   /// must be whitespace-free and unique within the campaign; shards
   /// already present in the journal under the same params hash are loaded
   /// instead of re-run. Throws CampaignInterrupted on a drain request.
+  ///
+  /// With a distributing `partition`, only owned shards are simulated and
+  /// journaled; the others contribute default elements to the returned
+  /// merge, which is therefore PARTIAL — a worker's return value is shard
+  /// bookkeeping, not the data point. The canonical stats come from the
+  /// supervisor's final pass over the merged journal.
   [[nodiscard]] core::LinkStats run_point(const std::string& point_id,
                                           const core::SimConfig& cfg);
 
@@ -82,6 +93,12 @@ class CampaignRunner {
   /// work unit (`<point_id>/p<n>`). The probe sequence is deterministic
   /// because every probe's PER is, so a resumed bisection walks the same
   /// SNR path and reuses the journaled probes.
+  ///
+  /// Refuses to run under a distributing partition: each probe's PER
+  /// would be computed from a partial shard slice, so different workers
+  /// would walk *different* bisection paths and journal same-point-id
+  /// records for different SNR configs — unmergeable by construction.
+  /// The supervisor's final pass computes bisections in-process instead.
   [[nodiscard]] double min_snr_for_per(const std::string& point_id,
                                        const core::SimConfig& cfg, double target_per = 0.5,
                                        double lo_db = -10.0, double hi_db = 45.0,
@@ -118,6 +135,13 @@ class CampaignRunner {
   /// simulation: (shard index, attempt index). A hook that sleeps past
   /// the watchdog budget simulates a hung shard.
   std::function<void(std::size_t, std::size_t)> shard_hook;
+
+  /// Invoked (outside the journal lock) each time a shard's result has
+  /// been durably journaled, with the shard index. The chaos harness's
+  /// `--chaos-kill-after-shards=K` counts journaled shards here and
+  /// SIGKILLs the worker at a scripted point — after the fsync, so the
+  /// journal the respawn resumes from provably contains the work.
+  std::function<void(std::size_t)> shard_journaled_hook;
 
   /// Telemetry consumer. When set, every run_point collects per-shard
   /// telemetry (metrics + traces) and invokes the sink after the merge —

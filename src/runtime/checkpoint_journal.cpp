@@ -2,42 +2,18 @@
 
 #include <unistd.h>
 
-#include <bit>
+#include <algorithm>
+#include <cerrno>
 #include <cinttypes>
+#include <cstring>
 #include <fstream>
-#include <span>
 #include <stdexcept>
 
 #include "core/contracts.hpp"
-#include "phy/crc16.hpp"
+#include "runtime/journal_format.hpp"
 
 namespace bhss::runtime {
 namespace {
-
-std::uint16_t line_crc(const std::string& body) {
-  return phy::crc16_ccitt(std::span<const std::uint8_t>(
-      reinterpret_cast<const std::uint8_t*>(body.data()), body.size()));
-}
-
-/// "<body> crc=XXXX" with the CRC over the body bytes.
-std::string seal_line(const std::string& body) {
-  char tail[16];
-  std::snprintf(tail, sizeof(tail), " crc=%04X", line_crc(body));
-  return body + tail;
-}
-
-/// Strip and verify the trailing " crc=XXXX"; returns false on any
-/// mismatch (torn write, bit rot, manual edit).
-bool unseal_line(const std::string& line, std::string& body) {
-  static constexpr std::size_t kTail = 9;  // " crc=XXXX"
-  if (line.size() < kTail) return false;
-  const std::size_t split = line.size() - kTail;
-  if (line.compare(split, 5, " crc=") != 0) return false;
-  unsigned crc = 0;
-  if (std::sscanf(line.c_str() + split + 5, "%4x", &crc) != 1) return false;
-  body = line.substr(0, split);
-  return line_crc(body) == static_cast<std::uint16_t>(crc);
-}
 
 std::string shard_key(const JournalKey& key, std::size_t shard) {
   char buf[64];
@@ -51,49 +27,11 @@ std::string point_key(const JournalKey& key) {
   return key.point_id + buf;
 }
 
-/// LinkStats fields in journal order. Doubles travel as IEEE-754 bit
-/// patterns: the replayed merge must reproduce the uninterrupted run's
-/// statistics bit for bit, and "%.17g" round-trips are one parser bug away
-/// from silently breaking that.
-std::string format_stats(const core::LinkStats& s) {
-  char buf[512];
-  std::snprintf(buf, sizeof(buf),
-                "%zu %zu %zu %zu %zu %016" PRIx64 " %016" PRIx64
-                " %zu %zu %zu %zu %zu %zu %zu %zu %zu %zu %zu %zu %zu",
-                s.packets, s.detected, s.ok, s.symbol_errors, s.total_symbols,
-                std::bit_cast<std::uint64_t>(s.airtime_s),
-                std::bit_cast<std::uint64_t>(s.throughput_bps), s.sync_lost, s.reacquired,
-                s.filter_fallback, s.corrupt_input_rejected, s.faults_injected,
-                s.shard_timeout, s.shard_retried, s.adapt_transitions, s.adapt_jam_episodes,
-                s.adapt_fallbacks, s.adapt_recoveries, s.adapt_windows_jammed,
-                s.adapt_packets_adapted);
-  return buf;
-}
-
-bool parse_stats(const char* text, core::LinkStats& s) {
-  std::uint64_t airtime_bits = 0;
-  std::uint64_t throughput_bits = 0;
-  const int n = std::sscanf(
-      text,
-      "%zu %zu %zu %zu %zu %" SCNx64 " %" SCNx64 " %zu %zu %zu %zu %zu %zu %zu %zu %zu %zu %zu "
-      "%zu %zu",
-      &s.packets, &s.detected, &s.ok, &s.symbol_errors, &s.total_symbols, &airtime_bits,
-      &throughput_bits, &s.sync_lost, &s.reacquired, &s.filter_fallback,
-      &s.corrupt_input_rejected, &s.faults_injected, &s.shard_timeout, &s.shard_retried,
-      &s.adapt_transitions, &s.adapt_jam_episodes, &s.adapt_fallbacks, &s.adapt_recoveries,
-      &s.adapt_windows_jammed, &s.adapt_packets_adapted);
-  if (n != 20) return false;
-  s.airtime_s = std::bit_cast<double>(airtime_bits);
-  s.throughput_bps = std::bit_cast<double>(throughput_bits);
-  return true;
-}
-
-void fsync_file(std::FILE* file) {
-  std::fflush(file);
-  ::fsync(::fileno(file));
-}
-
 }  // namespace
+
+JournalWriteError::JournalWriteError(const std::string& what)
+    : std::runtime_error("CheckpointJournal write failed: " + what +
+                         " — the append is NOT durable; treat the tail as torn") {}
 
 CheckpointJournal::~CheckpointJournal() { close(); }
 
@@ -126,13 +64,11 @@ void CheckpointJournal::open(const std::string& path, const std::string& figure_
   if (staged == nullptr) {
     throw std::runtime_error("CheckpointJournal: cannot create " + tmp);
   }
-  char header[256];
-  std::snprintf(header, sizeof(header), "bhss-journal v%d schema=%d figure=%s git=%s",
-                kFormatVersion, schema_version, figure_id.c_str(),
-                build_sha.empty() ? "unknown" : build_sha.c_str());
-  const std::string line = seal_line(header);
+  const std::string line =
+      journal::seal_line(journal::format_header(schema_version, figure_id, build_sha));
   std::fprintf(staged, "%s\n", line.c_str());
-  fsync_file(staged);
+  std::fflush(staged);
+  ::fsync(::fileno(staged));
   std::fclose(staged);
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
     throw std::runtime_error("CheckpointJournal: cannot publish " + tmp + " to " + path);
@@ -155,31 +91,29 @@ void CheckpointJournal::load_existing(const std::string& figure_id, int schema_v
     // append and never validates (the CRC tail would be incomplete).
     const bool had_newline = !in.eof();
     std::string body;
-    if (!unseal_line(line, body)) break;
+    if (!journal::unseal_line(line, body)) break;
 
     if (!saw_header) {
-      char figure[128] = {0};
-      char git[128] = {0};
-      int version = 0;
-      int schema = 0;
-      if (std::sscanf(body.c_str(), "bhss-journal v%d schema=%d figure=%127s git=%127s",
-                      &version, &schema, figure, git) != 4) {
+      journal::Header header;
+      if (!journal::parse_header(body, header)) {
         throw std::runtime_error("CheckpointJournal: " + path_ + " has no valid header");
       }
-      if (version != kFormatVersion) {
-        throw std::runtime_error("CheckpointJournal: " + path_ +
-                                 " uses journal format v" + std::to_string(version) +
-                                 ", this build writes v" + std::to_string(kFormatVersion));
+      if (header.format_version != journal::kFormatVersion) {
+        throw std::runtime_error("CheckpointJournal: " + path_ + " uses journal format v" +
+                                 std::to_string(header.format_version) +
+                                 ", this build writes v" +
+                                 std::to_string(journal::kFormatVersion));
       }
-      if (schema != schema_version) {
+      if (header.schema_version != schema_version) {
         throw std::runtime_error(
             "CheckpointJournal: " + path_ + " was written with schema_version " +
-            std::to_string(schema) + ", this build emits " + std::to_string(schema_version) +
+            std::to_string(header.schema_version) + ", this build emits " +
+            std::to_string(schema_version) +
             " — resumed records would mix schemas; start a fresh checkpoint");
       }
-      if (figure_id != figure) {
+      if (figure_id != header.figure_id) {
         throw std::runtime_error("CheckpointJournal: " + path_ + " belongs to campaign '" +
-                                 figure + "', not '" + figure_id + "'");
+                                 header.figure_id + "', not '" + figure_id + "'");
       }
       saw_header = true;
     } else {
@@ -190,7 +124,7 @@ void CheckpointJournal::load_existing(const std::string& figure_id, int schema_v
       if (std::sscanf(body.c_str(), "S %191s %" SCNx64 " %zu %n", point, &hash, &shard,
                       &consumed) == 3) {
         core::LinkStats stats;
-        if (!parse_stats(body.c_str() + consumed, stats)) break;
+        if (!journal::parse_stats(body.c_str() + consumed, stats)) break;
         shards_[shard_key({point, hash}, shard)] = stats;
       } else if (std::sscanf(body.c_str(), "O %191s %" SCNx64 " %zu %n", point, &hash,
                              &shard, &consumed) == 3) {
@@ -203,6 +137,11 @@ void CheckpointJournal::load_existing(const std::string& figure_id, int schema_v
       } else if (std::sscanf(body.c_str(), "P %191s %" SCNx64 " %n", point, &hash,
                              &consumed) == 2) {
         points_[point_key({point, hash})] = body.substr(static_cast<std::size_t>(consumed));
+      } else if (body.size() >= 2 && body[0] == 'H' && body[1] == ' ') {
+        // Worker heartbeat: liveness breadcrumbs for the process-level
+        // supervisor. Carries no campaign state — skipped on replay (and
+        // dropped entirely by journal-merge), but it is a *valid* record:
+        // the scan continues past it instead of truncating.
       } else {
         break;  // unknown record kind: treat like a torn tail, drop the rest
       }
@@ -256,13 +195,46 @@ const std::string* CheckpointJournal::find_point(const JournalKey& key) const {
   return it == points_.end() ? nullptr : &it->second;
 }
 
+void CheckpointJournal::simulate_disk_full_after(std::size_t bytes) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  write_budget_ = bytes;
+}
+
 void CheckpointJournal::append_line(const std::string& body) {
-  const std::string line = seal_line(body);
-  BHSS_DEBUG_ASSERT(line.find('\n') == std::string::npos,
+  const std::string line = journal::seal_line(body) + "\n";
+  BHSS_DEBUG_ASSERT(line.find('\n') == line.size() - 1,
                     "CheckpointJournal: records must be single-line");
   if (file_ == nullptr) return;
-  std::fprintf(file_, "%s\n", line.c_str());
-  fsync_file(file_);
+  if (write_failed_) {
+    throw JournalWriteError("a previous append already failed on " + path_);
+  }
+
+  // The durability contract is append → flush → fsync, all checked. Any
+  // failure is a typed hard error, never a silent partial append: the
+  // caller must not report the work unit as journaled, and whatever
+  // half-line landed on disk is exactly the torn tail the CRC scan
+  // truncates on the next resume.
+  std::size_t writable = line.size();
+  bool simulated_full = false;
+  if (write_budget_ != kNoWriteBudget) {
+    writable = std::min(writable, write_budget_);
+    write_budget_ -= writable;
+    simulated_full = writable < line.size();
+  }
+  const std::size_t written =
+      writable == 0 ? 0 : std::fwrite(line.data(), 1, writable, file_);
+  if (std::fflush(file_) != 0 || written < line.size()) {
+    write_failed_ = true;
+    ::fsync(::fileno(file_));  // persist the torn prefix; the CRC scan drops it
+    const int err = simulated_full ? ENOSPC : errno;
+    throw JournalWriteError("short write on " + path_ + " (" + std::to_string(written) +
+                            "/" + std::to_string(line.size()) + " bytes, " +
+                            std::strerror(err) + ")");
+  }
+  if (::fsync(::fileno(file_)) != 0) {
+    write_failed_ = true;
+    throw JournalWriteError("fsync on " + path_ + " (" + std::strerror(errno) + ")");
+  }
 }
 
 void CheckpointJournal::record_shard(const JournalKey& key, std::size_t shard,
@@ -282,7 +254,7 @@ void CheckpointJournal::record_shard(const JournalKey& key, std::size_t shard,
   }
   std::snprintf(prefix, sizeof(prefix), "S %s %016" PRIx64 " %zu ", key.point_id.c_str(),
                 key.params_hash, shard);
-  append_line(prefix + format_stats(stats));
+  append_line(prefix + journal::format_stats(stats));
   shards_[shard_key(key, shard)] = stats;
 }
 
@@ -307,15 +279,26 @@ void CheckpointJournal::record_point(const JournalKey& key, const std::string& p
   points_[point_key(key)] = payload;
 }
 
+void CheckpointJournal::record_heartbeat(std::size_t worker_id, std::size_t sequence) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  char body[96];
+  std::snprintf(body, sizeof(body), "H %zu %zu", worker_id, sequence);
+  append_line(body);
+}
+
 void CheckpointJournal::flush() {
   const std::lock_guard<std::mutex> lock(mutex_);
-  if (file_ != nullptr) fsync_file(file_);
+  if (file_ != nullptr) {
+    std::fflush(file_);
+    ::fsync(::fileno(file_));
+  }
 }
 
 void CheckpointJournal::close() {
   const std::lock_guard<std::mutex> lock(mutex_);
   if (file_ != nullptr) {
-    fsync_file(file_);
+    std::fflush(file_);
+    ::fsync(::fileno(file_));
     std::fclose(file_);
     file_ = nullptr;
   }

@@ -14,16 +14,20 @@
 ///   O <point> <params-hash> <shard> <telemetry blob...> crc=XXXX
 ///   Q <point> <params-hash> <shard> <attempts> crc=XXXX
 ///   P <point> <params-hash> <payload...> crc=XXXX
+///   H <worker-id> <sequence> crc=XXXX
 ///
 /// `S` journals the bit-exact statistics of one finished simulation shard
 /// (doubles stored as IEEE-754 bit patterns, so replay merges to the same
 /// bits), `O` the shard's serialized telemetry when the campaign records
 /// it (written immediately before its `S` line, so a journaled shard with
 /// no blob can only mean telemetry was off), `Q` quarantines a shard the
-/// watchdog gave up on, and `P` stores the published JSONL record of a
-/// completed data point verbatim. Binaries predating the `O` kind treat
-/// such a line as a torn tail; the bench schema_version was bumped
-/// alongside it so mixed-schema resumes are rejected up front.
+/// watchdog gave up on, `P` stores the published JSONL record of a
+/// completed data point verbatim, and `H` is a worker heartbeat — a
+/// liveness breadcrumb for the process-level supervisor that carries no
+/// campaign state (skipped on replay, dropped by journal-merge). Binaries
+/// predating a record kind treat such a line as a torn tail; the bench
+/// schema_version is bumped alongside format additions so mixed-schema
+/// resumes are rejected up front.
 ///
 /// Durability contract:
 ///  - The file is *created* by writing the header to `<path>.tmp`,
@@ -42,12 +46,24 @@
 #include <cstdint>
 #include <cstdio>
 #include <mutex>
+#include <stdexcept>
 #include <string>
 #include <unordered_map>
 
 #include "core/link_simulator.hpp"
 
 namespace bhss::runtime {
+
+/// A journal append could not be made durable (ENOSPC, short write, fsync
+/// failure). The record is NOT on disk — or is a torn half-line the next
+/// resume's CRC scan will truncate — so the caller must not account the
+/// work unit as checkpointed. The journal refuses further appends after
+/// the first write failure: interleaving records after a hole would leave
+/// a journal whose valid prefix lies about campaign progress.
+class JournalWriteError : public std::runtime_error {
+ public:
+  explicit JournalWriteError(const std::string& what);
+};
 
 /// Identity of one data point inside a campaign. `point_id` must be
 /// whitespace-free (it is a token in the journal's line format);
@@ -123,6 +139,17 @@ class CheckpointJournal {
   /// exact bytes).
   void record_point(const JournalKey& key, const std::string& payload);
 
+  /// Append a worker liveness heartbeat (`H` record). The supervisor
+  /// watches the journal grow to distinguish a slow shard from a hung
+  /// worker; heartbeats carry no campaign state and are skipped on replay.
+  void record_heartbeat(std::size_t worker_id, std::size_t sequence);
+
+  /// Test hook: fail appends as if the disk filled after `bytes` more
+  /// bytes reach the file. The partial line that fits is really written
+  /// (producing a genuine torn tail for resume tests); the append that
+  /// exceeds the budget throws JournalWriteError.
+  void simulate_disk_full_after(std::size_t bytes);
+
   /// Flush + fsync any buffered bytes (appends already fsync; this is for
   /// the graceful-shutdown drain path to be explicit).
   void flush();
@@ -139,6 +166,10 @@ class CheckpointJournal {
   std::string path_;
   std::size_t replayed_ = 0;
   bool tail_truncated_ = false;
+  bool write_failed_ = false;
+
+  static constexpr std::size_t kNoWriteBudget = static_cast<std::size_t>(-1);
+  std::size_t write_budget_ = kNoWriteBudget;  ///< disk-full simulation hook
 
   // Keyed by "<point> <hash-hex> <shard>" / "<point> <hash-hex>".
   std::unordered_map<std::string, core::LinkStats> shards_;

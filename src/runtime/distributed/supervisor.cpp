@@ -1,0 +1,226 @@
+#include "runtime/distributed/supervisor.hpp"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <stdexcept>
+#include <thread>
+
+#include "core/contracts.hpp"
+#include "runtime/campaign.hpp"
+
+namespace bhss::runtime::distributed {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t) {
+  return std::chrono::duration<double>(Clock::now() - t).count();
+}
+
+/// Bookkeeping for one fleet slot across incarnations.
+struct WorkerSlot {
+  enum class State { idle, running, done, drained_final, failed };
+
+  State state = State::idle;
+  pid_t pid = -1;
+  std::size_t restarts = 0;
+  bool term_sent = false;             ///< SIGTERM already escalating
+  Clock::time_point term_at{};
+  Clock::time_point progress_at{};    ///< last observed journal growth
+  Clock::time_point backoff_until{};  ///< earliest respawn time
+  off_t journal_size = -1;
+};
+
+off_t file_size(const std::string& path) {
+  struct stat st {};
+  return ::stat(path.c_str(), &st) == 0 ? st.st_size : -1;
+}
+
+bool file_exists(const std::string& path) {
+  struct stat st {};
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+/// fork/exec one worker with stdout+stderr appended to `log_path`.
+/// Returns -1 when the fork itself failed (resource exhaustion).
+pid_t spawn(const std::vector<std::string>& argv, const std::string& log_path) {
+  BHSS_REQUIRE(!argv.empty(), "CampaignSupervisor: worker command is empty");
+  std::vector<char*> cargv;
+  cargv.reserve(argv.size() + 1);
+  for (const std::string& arg : argv) cargv.push_back(const_cast<char*>(arg.c_str()));
+  cargv.push_back(nullptr);
+
+  const pid_t pid = ::fork();
+  if (pid != 0) return pid;
+
+  // Child. Only async-signal-safe calls from here to exec.
+  const int log_fd = ::open(log_path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (log_fd >= 0) {
+    ::dup2(log_fd, STDOUT_FILENO);
+    ::dup2(log_fd, STDERR_FILENO);
+    if (log_fd > STDERR_FILENO) ::close(log_fd);
+  }
+  ::execvp(cargv[0], cargv.data());
+  ::_exit(127);  // exec failed; counted as a crash by the parent
+}
+
+}  // namespace
+
+CampaignSupervisor::CampaignSupervisor(SupervisorOptions options, WorkerCommand command)
+    : options_(std::move(options)), command_(std::move(command)) {
+  BHSS_REQUIRE(options_.n_workers >= 1, "CampaignSupervisor: n_workers must be >= 1");
+  BHSS_REQUIRE(!options_.journal_base.empty(),
+               "CampaignSupervisor: journal_base is required");
+  BHSS_REQUIRE(static_cast<bool>(command_), "CampaignSupervisor: command builder required");
+}
+
+std::string CampaignSupervisor::worker_journal_path(const std::string& base,
+                                                    std::size_t worker) {
+  return base + ".w" + std::to_string(worker);
+}
+
+FleetResult CampaignSupervisor::run() {
+  FleetResult result;
+  std::vector<WorkerSlot> slots(options_.n_workers);
+  for (std::size_t i = 0; i < options_.n_workers; ++i) {
+    result.worker_journals.push_back(worker_journal_path(options_.journal_base, i));
+  }
+
+  bool drain_broadcast = false;
+  const auto launch = [&](std::size_t i) {
+    WorkerSlot& slot = slots[i];
+    const std::string& journal = result.worker_journals[i];
+    const std::vector<std::string> argv = command_(i, file_exists(journal));
+    const pid_t pid = spawn(argv, journal + ".log");
+    if (pid < 0) throw std::runtime_error("CampaignSupervisor: fork failed");
+    slot.pid = pid;
+    slot.state = WorkerSlot::State::running;
+    slot.term_sent = false;
+    slot.progress_at = Clock::now();
+    slot.journal_size = file_size(journal);
+  };
+
+  const auto respawn_or_fail = [&](std::size_t i, const char* why) {
+    WorkerSlot& slot = slots[i];
+    if (slot.restarts >= options_.max_restarts) {
+      // Budget exhausted: quarantine this worker's shard range from fleet
+      // execution. The final publish pass recomputes it in-process.
+      slot.state = WorkerSlot::State::failed;
+      result.failed_workers.push_back(i);
+      std::fprintf(stderr,
+                   "supervisor: worker %zu gave out after %zu restarts (%s); "
+                   "quarantining its shard range for the final pass\n",
+                   i, slot.restarts, why);
+      return;
+    }
+    ++slot.restarts;
+    ++result.fleet.worker_restarts;
+    const double backoff =
+        options_.backoff_base_s * static_cast<double>(1ULL << (slot.restarts - 1));
+    slot.backoff_until = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                            std::chrono::duration<double>(backoff));
+    slot.state = WorkerSlot::State::idle;
+    slot.pid = -1;
+  };
+
+  const auto reap = [&](std::size_t i, int status) {
+    WorkerSlot& slot = slots[i];
+    slot.pid = -1;
+    if (WIFEXITED(status) && WEXITSTATUS(status) == 0) {
+      slot.state = WorkerSlot::State::done;
+      return;
+    }
+    if (WIFEXITED(status) && WEXITSTATUS(status) == 75) {
+      // Graceful drain: clean journal tail, resumable. Expected under a
+      // requested drain; under a stray external SIGTERM the worker is
+      // simply respawned to resume its slice.
+      ++result.fleet.worker_drains;
+      if (drain_broadcast) {
+        slot.state = WorkerSlot::State::drained_final;
+      } else {
+        respawn_or_fail(i, "drained by external signal");
+      }
+      return;
+    }
+    ++result.fleet.worker_crashes;
+    respawn_or_fail(i, WIFSIGNALED(status) ? "killed by signal" : "nonzero exit");
+  };
+
+  for (std::size_t i = 0; i < options_.n_workers; ++i) launch(i);
+
+  const auto poll = std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double>(options_.poll_interval_s));
+  for (;;) {
+    // 1. Drain request: broadcast SIGTERM once, then keep reaping.
+    if (!drain_broadcast && CampaignRunner::interrupt_requested()) {
+      drain_broadcast = true;
+      for (WorkerSlot& slot : slots) {
+        if (slot.state == WorkerSlot::State::running && slot.pid > 0) {
+          ::kill(slot.pid, SIGTERM);
+          slot.term_sent = true;
+          slot.term_at = Clock::now();
+        } else if (slot.state == WorkerSlot::State::idle) {
+          slot.state = WorkerSlot::State::drained_final;  // never respawned
+        }
+      }
+    }
+
+    // 2. Reap exits, detect hangs, respawn due workers.
+    bool any_pending = false;
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+      WorkerSlot& slot = slots[i];
+      if (slot.state == WorkerSlot::State::running) {
+        int status = 0;
+        const pid_t got = ::waitpid(slot.pid, &status, WNOHANG);
+        if (got == slot.pid) {
+          reap(i, status);
+        } else if (options_.hang_timeout_s > 0.0 || slot.term_sent) {
+          const off_t size = file_size(result.worker_journals[i]);
+          if (size != slot.journal_size) {
+            slot.journal_size = size;
+            slot.progress_at = Clock::now();
+          }
+          if (slot.term_sent) {
+            if (seconds_since(slot.term_at) > options_.term_grace_s) {
+              ::kill(slot.pid, SIGKILL);  // escalation; reaped next poll
+              slot.term_sent = false;     // don't re-escalate
+            }
+          } else if (options_.hang_timeout_s > 0.0 &&
+                     seconds_since(slot.progress_at) > options_.hang_timeout_s) {
+            // Journal stopped growing: hung (or starved). TERM first so a
+            // merely slow worker drains with a clean tail.
+            ::kill(slot.pid, SIGTERM);
+            slot.term_sent = true;
+            slot.term_at = Clock::now();
+          }
+        }
+      } else if (slot.state == WorkerSlot::State::idle) {
+        if (drain_broadcast) {
+          slot.state = WorkerSlot::State::drained_final;
+        } else if (Clock::now() >= slot.backoff_until) {
+          launch(i);
+        }
+      }
+      any_pending = any_pending || slot.state == WorkerSlot::State::running ||
+                    slot.state == WorkerSlot::State::idle;
+    }
+    if (!any_pending) break;
+    std::this_thread::sleep_for(poll);
+  }
+
+  result.drained = drain_broadcast;
+  result.completed = !drain_broadcast && result.failed_workers.empty();
+  for (const WorkerSlot& slot : slots) {
+    result.completed = result.completed && slot.state == WorkerSlot::State::done;
+  }
+  return result;
+}
+
+}  // namespace bhss::runtime::distributed

@@ -1,0 +1,96 @@
+#include "runtime/journal_format.hpp"
+
+#include <bit>
+#include <cinttypes>
+#include <cstdio>
+#include <span>
+
+#include "core/contracts.hpp"
+#include "phy/crc16.hpp"
+
+namespace bhss::runtime::journal {
+
+std::uint16_t line_crc(const std::string& body) {
+  return phy::crc16_ccitt(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(body.data()), body.size()));
+}
+
+std::string seal_line(const std::string& body) {
+  char tail[16];
+  std::snprintf(tail, sizeof(tail), " crc=%04X", line_crc(body));
+  return body + tail;
+}
+
+bool unseal_line(const std::string& line, std::string& body) {
+  static constexpr std::size_t kTail = 9;  // " crc=XXXX"
+  if (line.size() < kTail) return false;
+  const std::size_t split = line.size() - kTail;
+  if (line.compare(split, 5, " crc=") != 0) return false;
+  unsigned crc = 0;
+  if (std::sscanf(line.c_str() + split + 5, "%4x", &crc) != 1) return false;
+  body = line.substr(0, split);
+  return line_crc(body) == static_cast<std::uint16_t>(crc);
+}
+
+std::string format_header(int schema_version, const std::string& figure_id,
+                          const std::string& build_sha) {
+  char header[256];
+  std::snprintf(header, sizeof(header), "bhss-journal v%d schema=%d figure=%s git=%s",
+                kFormatVersion, schema_version, figure_id.c_str(),
+                build_sha.empty() ? "unknown" : build_sha.c_str());
+  return header;
+}
+
+bool parse_header(const std::string& body, Header& out) {
+  char figure[128] = {0};
+  char git[128] = {0};
+  int version = 0;
+  int schema = 0;
+  if (std::sscanf(body.c_str(), "bhss-journal v%d schema=%d figure=%127s git=%127s",
+                  &version, &schema, figure, git) != 4) {
+    return false;
+  }
+  out.format_version = version;
+  out.schema_version = schema;
+  out.figure_id = figure;
+  out.build_sha = git;
+  return true;
+}
+
+std::string format_stats(const core::LinkStats& s) {
+  char buf[640];
+  std::snprintf(buf, sizeof(buf),
+                "%zu %zu %zu %zu %zu %016" PRIx64 " %016" PRIx64
+                " %zu %zu %zu %zu %zu %zu %zu %zu %zu %zu %zu %zu %zu %zu %zu %zu",
+                s.packets, s.detected, s.ok, s.symbol_errors, s.total_symbols,
+                std::bit_cast<std::uint64_t>(s.airtime_s),
+                std::bit_cast<std::uint64_t>(s.throughput_bps), s.sync_lost, s.reacquired,
+                s.filter_fallback, s.corrupt_input_rejected, s.faults_injected,
+                s.shard_timeout, s.shard_retried, s.worker_restarts, s.worker_crashes,
+                s.worker_drains, s.adapt_transitions, s.adapt_jam_episodes,
+                s.adapt_fallbacks, s.adapt_recoveries, s.adapt_windows_jammed,
+                s.adapt_packets_adapted);
+  return buf;
+}
+
+bool parse_stats(const char* text, core::LinkStats& s) {
+  BHSS_REQUIRE(text != nullptr, "journal::parse_stats: null text");
+  std::uint64_t airtime_bits = 0;
+  std::uint64_t throughput_bits = 0;
+  const int n = std::sscanf(
+      text,
+      "%zu %zu %zu %zu %zu %" SCNx64 " %" SCNx64 " %zu %zu %zu %zu %zu %zu %zu %zu %zu %zu "
+      "%zu %zu %zu %zu %zu %zu",
+      &s.packets, &s.detected, &s.ok, &s.symbol_errors, &s.total_symbols, &airtime_bits,
+      &throughput_bits, &s.sync_lost, &s.reacquired, &s.filter_fallback,
+      &s.corrupt_input_rejected, &s.faults_injected, &s.shard_timeout, &s.shard_retried,
+      &s.worker_restarts, &s.worker_crashes, &s.worker_drains, &s.adapt_transitions,
+      &s.adapt_jam_episodes, &s.adapt_fallbacks, &s.adapt_recoveries,
+      &s.adapt_windows_jammed, &s.adapt_packets_adapted);
+  if (n != 23) return false;
+  s.airtime_s = std::bit_cast<double>(airtime_bits);
+  s.throughput_bps = std::bit_cast<double>(throughput_bits);
+  return true;
+}
+
+}  // namespace bhss::runtime::journal

@@ -1,0 +1,36 @@
+// bhss-analyze fixture: d1-deterministic-fold MUST fire (twice) on the
+// distributed journal-merge shape. A merge_* root that accumulates worker
+// records out of an unordered container reorders the fold by hashing
+// history, and tie-breaking records by their object address makes the
+// canonical output depend on allocator layout — both break the
+// byte-identical merge contract that journal_merge.cpp relies on.
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace fx {
+
+struct ShardRecord {
+  std::size_t shard = 0;
+  std::string body;
+};
+
+std::uint64_t tie_break(const ShardRecord* a) {
+  // Address-dependent ordering: two runs of the same merge lay records
+  // out differently and fold them in a different order.
+  return static_cast<std::uint64_t>(reinterpret_cast<std::uintptr_t>(a));
+}
+
+std::string merge_worker_journals(
+    const std::unordered_map<std::size_t, ShardRecord>& records) {
+  std::string out;
+  for (const auto& kv : records) {  // hash-order fold of worker records
+    out += kv.second.body;
+    out += ' ';
+    out += std::to_string(tie_break(&kv.second));
+  }
+  return out;
+}
+
+}  // namespace fx

@@ -1,0 +1,38 @@
+// bhss-analyze fixture: d1-deterministic-fold must NOT fire on the
+// canonical distributed merge shape. Worker records are folded out of a
+// std::map keyed by (point, shard) — ordered iteration, so the merged
+// output is a pure function of the record set — and an unrelated
+// diagnostic routine (not a merge/fold root, not reachable from one) may
+// still walk an unordered index.
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+namespace fx {
+
+struct ShardRecord {
+  std::size_t shard = 0;
+  std::string body;
+};
+
+using RecordKey = std::pair<std::string, std::size_t>;  // (point, shard)
+
+std::string merge_worker_journals(const std::map<RecordKey, ShardRecord>& records) {
+  std::string out;
+  for (const auto& kv : records) {  // ascending (point, shard): a left fold
+    out += kv.second.body;
+    out += '\n';
+  }
+  return out;
+}
+
+// Not a merge/fold root: unordered iteration is fine in cold diagnostics.
+std::size_t debug_count_bodies(const std::unordered_map<std::size_t, ShardRecord>& idx) {
+  std::size_t n = 0;
+  for (const auto& kv : idx) n += kv.second.body.size();
+  return n;
+}
+
+}  // namespace fx

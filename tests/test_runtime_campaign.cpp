@@ -63,6 +63,9 @@ void expect_identical(const core::LinkStats& a, const core::LinkStats& b) {
   EXPECT_EQ(a.faults_injected, b.faults_injected);
   EXPECT_EQ(a.shard_timeout, b.shard_timeout);
   EXPECT_EQ(a.shard_retried, b.shard_retried);
+  EXPECT_EQ(a.worker_restarts, b.worker_restarts);
+  EXPECT_EQ(a.worker_crashes, b.worker_crashes);
+  EXPECT_EQ(a.worker_drains, b.worker_drains);
   EXPECT_EQ(a.adapt_transitions, b.adapt_transitions);
   EXPECT_EQ(a.adapt_jam_episodes, b.adapt_jam_episodes);
   EXPECT_EQ(a.adapt_fallbacks, b.adapt_fallbacks);
@@ -87,6 +90,9 @@ core::LinkStats sample_stats(std::size_t salt) {
   s.faults_injected = 5;
   s.shard_timeout = 0;
   s.shard_retried = salt % 2;
+  s.worker_restarts = salt % 3;
+  s.worker_crashes = salt / 2;
+  s.worker_drains = (salt + 1) % 2;
   s.adapt_transitions = 4 * salt;
   s.adapt_jam_episodes = salt;
   s.adapt_fallbacks = salt / 3;
@@ -747,6 +753,10 @@ TEST(MergeLinkStats, TaxonomySurvivesAJournalRoundTrip) {
   const core::LinkStats merged = core::merge_link_stats(parts, 6);
   EXPECT_EQ(merged.shard_timeout, weird.shard_timeout + sample_stats(1).shard_timeout);
   EXPECT_EQ(merged.shard_retried, weird.shard_retried + sample_stats(1).shard_retried);
+  EXPECT_EQ(merged.worker_restarts,
+            weird.worker_restarts + sample_stats(1).worker_restarts);
+  EXPECT_EQ(merged.worker_crashes, weird.worker_crashes + sample_stats(1).worker_crashes);
+  EXPECT_EQ(merged.worker_drains, weird.worker_drains + sample_stats(1).worker_drains);
   EXPECT_EQ(merged.faults_injected,
             weird.faults_injected + sample_stats(1).faults_injected);
   std::remove(path.c_str());

@@ -101,6 +101,17 @@ def fixture_tests() -> None:
     expect_fires("d1_bad.cpp", "d1-deterministic-fold")
     expect_clean("d1_good.cpp")
 
+    # --- D1 on the distributed journal-merge shape: a merge_* root that
+    # folds worker records out of an unordered container AND tie-breaks by
+    # object address must fire twice; the canonical std::map-keyed fold
+    # (the journal_merge.cpp shape) with unordered iteration confined to a
+    # non-fold diagnostic must not.
+    r = analyze_fixture("h1_dist_bad.cpp")
+    check(r.returncode == 1 and r.stdout.count("[d1-deterministic-fold]") >= 2,
+          "h1_dist_bad.cpp: unordered fold + address tie-break both fire",
+          f"exit={r.returncode}\n{r.stdout}{r.stderr}")
+    expect_clean("h1_dist_good.cpp")
+
     # --- D2: RNG discipline ---
     expect_fires("d2_bad.cpp", "d2-rng-discipline", min_count=3)
     expect_clean("d2_good.cpp")
